@@ -1,0 +1,87 @@
+// Command hotleak queries the HotLeakage model from the command line, in
+// the spirit of the released HotLeakage tool: pick a technology node and an
+// operating point and it reports unit leakage, per-cell leakage for the
+// built-in cells in every standby mode, and the leakage power of an SRAM
+// structure of a given size. It can also derive k_design factors for the
+// built-in gate library (Section 3.1.2).
+//
+// Usage:
+//
+//	hotleak -node 70 -temp 110 -vdd 0.9
+//	hotleak -node 70 -cells 524288          # e.g. a 64KB data array
+//	hotleak -derive                         # k_design for the gate library
+//	hotleak -variation                      # inter-die Monte Carlo multipliers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hotleakage/internal/leakage"
+	"hotleakage/internal/tech"
+)
+
+func main() {
+	var (
+		node   = flag.Int("node", 70, "technology node in nm (180, 130, 100, 70)")
+		tempC  = flag.Float64("temp", 85, "operating temperature in Celsius")
+		vdd    = flag.Float64("vdd", 0, "supply voltage (0 = node nominal)")
+		cells  = flag.Int("cells", 64*1024*8, "SRAM cell count for the structure report")
+		derive = flag.Bool("derive", false, "derive k_design for the built-in gate library")
+		vary   = flag.Bool("variation", false, "report inter-die variation multipliers")
+	)
+	flag.Parse()
+
+	p, err := tech.ByNode(tech.Node(*node))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *vdd == 0 {
+		*vdd = p.VddNominal
+	}
+
+	if *derive {
+		fmt.Printf("k_design derivation (stack factor %.2f):\n", leakage.DefaultStackFactor)
+		for _, g := range []leakage.Gate{leakage.Inverter(), leakage.NAND2(), leakage.NAND3(), leakage.NOR2()} {
+			kd := leakage.DeriveKDesign(g, leakage.DefaultStackFactor)
+			fmt.Printf("  %-6s k_n=%.3f k_p=%.3f\n", g.Name, kd.Kn, kd.Kp)
+		}
+		return
+	}
+
+	opts := []leakage.Option{}
+	if *vary {
+		opts = append(opts, leakage.WithVariation(leakage.DefaultVariation70nm()))
+	}
+	m := leakage.New(p, opts...)
+	m.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(*tempC), Vdd: *vdd})
+
+	fmt.Printf("HotLeakage @ %s, %.0f C, Vdd=%.2f V\n", p.Node, *tempC, *vdd)
+	tK := leakage.CelsiusToKelvin(*tempC)
+	fmt.Printf("unit subthreshold N: %.4e A   P: %.4e A\n",
+		leakage.UnitSubthresholdNominal(p, p.N, 1, *vdd, tK),
+		leakage.UnitSubthresholdNominal(p, p.P, 1, *vdd, tK))
+	fmt.Printf("unit gate leakage:   %.4e A\n", leakage.UnitGate(p, 1, *vdd, tK))
+	if *vary {
+		v := m.Variation()
+		fmt.Printf("variation multipliers: subN=%.3f subP=%.3f gate=%.3f\n", v.SubN, v.SubP, v.Gate)
+	}
+	fmt.Println()
+	fmt.Printf("%-16s %12s %12s %12s %12s\n", "cell", "active", "drowsy", "gated-vss", "rbb")
+	for _, c := range []leakage.Cell{leakage.SRAM6T, leakage.DecoderNAND, leakage.SenseAmp, leakage.InverterDriver} {
+		fmt.Printf("%-16s %11.3enW %11.3enW %11.3enW %11.3enW\n", c.Name,
+			1e9*m.CellPower(c, leakage.ModeActive),
+			1e9*m.CellPower(c, leakage.ModeDrowsy),
+			1e9*m.CellPower(c, leakage.ModeGated),
+			1e9*m.CellPower(c, leakage.ModeRBB))
+	}
+	fmt.Println()
+	fmt.Printf("structure of %d SRAM cells:\n", *cells)
+	for _, mode := range []leakage.Mode{leakage.ModeActive, leakage.ModeDrowsy, leakage.ModeGated, leakage.ModeRBB} {
+		fmt.Printf("  %-10s %8.2f mW (%.2f%% of active)\n", mode,
+			1e3*m.StructurePower(leakage.SRAM6T, *cells, mode),
+			100*m.StandbyFraction(leakage.SRAM6T, mode))
+	}
+}

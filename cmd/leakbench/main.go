@@ -1,0 +1,124 @@
+// Command leakbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	leakbench -all                 # every figure and table
+//	leakbench -fig 8               # one figure (1,3..13)
+//	leakbench -table 3             # one table (1,2,3)
+//	leakbench -n 2000000 -fig 12   # longer runs
+//
+// Output is text tables: one row per benchmark, one column per technique —
+// the harness's equivalent of the paper's bar charts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hotleakage/internal/leakage"
+	"hotleakage/internal/sim"
+	"hotleakage/internal/tech"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "regenerate every figure and table")
+		fig    = flag.Int("fig", 0, "figure number to regenerate (1, 3-13)")
+		table  = flag.Int("table", 0, "table number to regenerate (1-3)")
+		n      = flag.Uint64("n", 1_000_000, "measured instructions per run")
+		warmup = flag.Uint64("warmup", 300_000, "warmup instructions per run")
+		vary   = flag.Bool("variation", false, "enable inter-die parameter variation (Section 3.3)")
+		serial = flag.Bool("serial", false, "disable parallel simulation")
+		asCSV  = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
+	)
+	flag.Parse()
+
+	e := sim.NewExperiments()
+	e.Instructions = *n
+	e.Warmup = *warmup
+	e.Parallel = !*serial
+	if *vary {
+		e.Variation = leakage.DefaultVariation70nm()
+	}
+
+	if !*all && *fig == 0 && *table == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *n < 300_000 {
+		fmt.Fprintf(os.Stderr, "warning: -n %d is small; cold-start effects dominate below ~300000 instructions and gated-Vss is unfairly penalized\n", *n)
+	}
+
+	csv = *asCSV
+	start := time.Now()
+	if *all {
+		runFigure(e, 1)
+		runTable(e, 1)
+		runTable(e, 2)
+		for _, f := range []int{3, 5, 7, 8, 10, 12} {
+			runFigure(e, f)
+		}
+		runTable(e, 3)
+	} else if *fig != 0 {
+		runFigure(e, *fig)
+	} else {
+		runTable(e, *table)
+	}
+	fmt.Fprintf(os.Stderr, "total %.1fs\n", time.Since(start).Seconds())
+}
+
+func runFigure(e *sim.Experiments, fig int) {
+	switch fig {
+	case 1:
+		for _, c := range sim.Figure1(tech.MustByNode(tech.Node70)) {
+			fmt.Println(c)
+		}
+	case 3, 4:
+		printPair(e.Figure3_4())
+	case 5, 6:
+		printPair(e.Figure5_6())
+	case 7:
+		printFigure(e.Figure7())
+	case 8, 9:
+		printPair(e.Figure8_9())
+	case 10, 11:
+		printPair(e.Figure10_11())
+	case 12, 13:
+		printPair(e.Figure12_13())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %d (have 1, 3-13)\n", fig)
+		os.Exit(2)
+	}
+}
+
+func runTable(e *sim.Experiments, table int) {
+	switch table {
+	case 1:
+		fmt.Println(sim.Table1())
+	case 2:
+		fmt.Println(sim.Table2(sim.DefaultMachine(11)))
+	case 3:
+		fmt.Println(e.Table3())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %d (have 1-3)\n", table)
+		os.Exit(2)
+	}
+}
+
+// csv selects CSV output for figures.
+var csv bool
+
+func printFigure(f sim.Figure) {
+	if csv {
+		fmt.Printf("# %s — %s [%s]\n%s\n", f.ID, f.Title, f.Metric, f.CSV())
+		return
+	}
+	fmt.Println(f)
+}
+
+func printPair(savings, perf sim.Figure) {
+	printFigure(savings)
+	printFigure(perf)
+}

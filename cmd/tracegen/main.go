@@ -1,0 +1,193 @@
+// Command tracegen inspects the synthetic SPECint-2000 workload generators:
+// it generates a stream for one benchmark (or all) and reports instruction
+// mix, dependence structure, branch composition, reuse-gap statistics and —
+// when -machine is set — the stream's behaviour on the Table 2 machine
+// (IPC, cache miss rates, branch misprediction). Use it to check a profile
+// against its calibration targets or to characterize a custom profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hotleakage/internal/sim"
+	"hotleakage/internal/trace"
+	"hotleakage/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "benchmark name (default: all)")
+		n       = flag.Uint64("n", 500_000, "instructions to generate / simulate")
+		machine = flag.Bool("machine", false, "also run the Table 2 machine over the stream")
+		record  = flag.String("record", "", "record the stream to a binary trace file (requires -bench)")
+		replay  = flag.String("replay", "", "replay and summarize a recorded trace file")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		replayTrace(*replay)
+		return
+	}
+	if *record != "" {
+		if *bench == "" {
+			fmt.Fprintln(os.Stderr, "-record requires -bench")
+			os.Exit(2)
+		}
+		recordTrace(*bench, *record, *n)
+		return
+	}
+
+	profs := workload.Profiles()
+	if *bench != "" {
+		p, ok := workload.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q; have %v\n", *bench, workload.Names())
+			os.Exit(2)
+		}
+		profs = []workload.Profile{p}
+	}
+
+	for _, p := range profs {
+		inspect(p, *n)
+		if *machine {
+			simulate(p, *n)
+		}
+	}
+}
+
+func inspect(p workload.Profile, n uint64) {
+	g := workload.NewGenerator(p)
+	var ins workload.Instr
+	var mem, store, cti, taken uint64
+	var depSum, depCnt uint64
+	lastTouch := map[uint64]uint64{}
+	gapHist := [6]uint64{} // <256, <1k, <4k, <16k, <64k, >=64k accesses
+	var accesses uint64
+
+	for i := uint64(0); i < n; i++ {
+		g.Next(&ins)
+		if ins.Op.IsMem() {
+			mem++
+			if ins.Op == workload.OpStore {
+				store++
+			}
+			line := ins.Addr / 64
+			if prev, ok := lastTouch[line]; ok {
+				gap := accesses - prev
+				switch {
+				case gap < 256:
+					gapHist[0]++
+				case gap < 1024:
+					gapHist[1]++
+				case gap < 4096:
+					gapHist[2]++
+				case gap < 16384:
+					gapHist[3]++
+				case gap < 65536:
+					gapHist[4]++
+				default:
+					gapHist[5]++
+				}
+			}
+			lastTouch[line] = accesses
+			accesses++
+		}
+		if ins.Op.IsCTI() {
+			cti++
+			if ins.Taken {
+				taken++
+			}
+		}
+		if ins.Src1 > 0 {
+			depSum += uint64(ins.Src1)
+			depCnt++
+		}
+	}
+	fmt.Printf("%-8s mem=%.3f store=%.3f cti=%.3f taken=%.2f meandep=%.1f lines=%d\n",
+		p.Name, f(mem, n), f(store, n), f(cti, n), f(taken, cti),
+		float64(depSum)/float64(max(depCnt, 1)), len(lastTouch))
+	fmt.Printf("         reuse-gap histogram (accesses): <256:%.3f <1k:%.3f <4k:%.3f <16k:%.3f <64k:%.3f >=64k:%.3f\n",
+		f(gapHist[0], accesses), f(gapHist[1], accesses), f(gapHist[2], accesses),
+		f(gapHist[3], accesses), f(gapHist[4], accesses), f(gapHist[5], accesses))
+}
+
+func simulate(p workload.Profile, n uint64) {
+	mc := sim.DefaultMachine(11)
+	mc.Warmup = n / 3
+	mc.Instructions = n
+	r := sim.NewSuite(mc).Baseline(p)
+	dl1miss := float64(r.DStats.Misses) / float64(max(r.DStats.Accesses, 1))
+	fmt.Printf("         IPC=%.2f dl1miss=%.2f%% il1miss=%.2f%% l2miss=%.2f%% bpred=%.2f%%\n",
+		r.CPU.IPC(), 100*dl1miss, 100*r.ICStats.MissRate(),
+		100*r.L2Stats.MissRate(), 100*r.Bpred.MispredictRate())
+}
+
+// recordTrace captures n instructions of a benchmark into path.
+func recordTrace(bench, path string, n uint64) {
+	prof, ok := workload.ByName(bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", bench)
+		os.Exit(2)
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer fh.Close()
+	w, err := trace.NewWriter(fh, bench, n)
+	if err == nil {
+		err = trace.Record(workload.NewGenerator(prof), w, n)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st, _ := fh.Stat()
+	fmt.Printf("recorded %d instructions of %s to %s (%.1f bytes/instr)\n",
+		n, bench, path, float64(st.Size())/float64(n))
+}
+
+// replayTrace loads a trace and prints its composition.
+func replayTrace(path string) {
+	fh, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer fh.Close()
+	r, err := trace.NewReader(fh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var ins workload.Instr
+	var mem, cti uint64
+	for i := 0; i < r.Len(); i++ {
+		r.Next(&ins)
+		if ins.Op.IsMem() {
+			mem++
+		}
+		if ins.Op.IsCTI() {
+			cti++
+		}
+	}
+	fmt.Printf("trace %q: %d instructions, mem=%.3f cti=%.3f\n",
+		r.Name(), r.Len(), f(mem, uint64(r.Len())), f(cti, uint64(r.Len())))
+}
+
+func f(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,19 @@
+// Package hotleakage is a from-scratch Go reproduction of "Comparison of
+// State-Preserving vs. Non-State-Preserving Leakage Control in Caches"
+// (Parikh, Zhang, Sankaranarayanan, Skadron, Stan): the HotLeakage
+// architectural leakage model, a Wattch-style dynamic power model, a
+// set-associative cache hierarchy with drowsy-cache and gated-Vss leakage
+// control, a simplified out-of-order core, synthetic SPECint-2000 workload
+// generators, and a benchmark harness that regenerates every table and
+// figure in the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// benches in bench_test.go regenerate the figures:
+//
+//	go test -bench=Figure8 -benchtime=1x -v .
+//
+// The implementation lives under internal/; the runnable entry points are
+// cmd/leakbench (all experiments), cmd/hotleak (leakage-model queries),
+// cmd/tracegen (workload inspection), and the examples/ directory.
+package hotleakage

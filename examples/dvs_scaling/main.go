@@ -1,0 +1,48 @@
+// DVS scaling: the HotLeakage feature the Butts-Sohi model cannot provide
+// (paper Section 3): leakage recalculated on the fly as supply voltage
+// changes. This example sweeps the operating point a DVS governor would
+// visit and shows (a) how the D-cache's leakage power and each technique's
+// standby residual respond, and (b) the register-file model — the second
+// structure HotLeakage ships — at the same points.
+//
+//	go run ./examples/dvs_scaling
+package main
+
+import (
+	"fmt"
+
+	"hotleakage/internal/leakage"
+	"hotleakage/internal/tech"
+)
+
+func main() {
+	p := tech.MustByNode(tech.Node70)
+	m := leakage.New(p)
+
+	const cells = 64 * 1024 * 8 // 64 KB data array
+	fmt.Println("64KB D-cache data array across a DVS schedule, 85C")
+	fmt.Printf("%6s %12s %12s %12s %12s\n", "Vdd", "active mW", "drowsy %", "gated %", "rbb %")
+	for _, vdd := range []float64{0.9, 0.8, 0.7, 0.6, 0.5} {
+		m.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(85), Vdd: vdd})
+		fmt.Printf("%6.2f %12.2f %12.2f %12.3f %12.2f\n",
+			vdd,
+			1e3*m.StructurePower(leakage.SRAM6T, cells, leakage.ModeActive),
+			100*m.StandbyFraction(leakage.SRAM6T, leakage.ModeDrowsy),
+			100*m.StandbyFraction(leakage.SRAM6T, leakage.ModeGated),
+			100*m.StandbyFraction(leakage.SRAM6T, leakage.ModeRBB))
+	}
+
+	fmt.Println("\n80x64 integer register file (21264-class, 4R/2W ports), 85C")
+	fmt.Printf("%6s %14s %14s\n", "Vdd", "active mW", "drowsy mW")
+	for _, vdd := range []float64{0.9, 0.7, 0.5} {
+		m.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(85), Vdd: vdd})
+		fmt.Printf("%6.2f %14.3f %14.3f\n", vdd,
+			1e3*leakage.RegFilePower(m, 80, 64, leakage.ModeActive),
+			1e3*leakage.RegFilePower(m, 80, 64, leakage.ModeDrowsy))
+	}
+
+	fmt.Println("\nNote how the drowsy residual GROWS as Vdd falls: the gap between the")
+	fmt.Println("nominal and drowsy supplies shrinks, eroding drowsy's benefit exactly")
+	fmt.Println("when DVS has already cut leakage — while gated-Vss's footer keeps its")
+	fmt.Println("~two-orders-of-magnitude reduction at every point.")
+}

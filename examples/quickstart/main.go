@@ -1,0 +1,47 @@
+// Quickstart: compare drowsy cache against gated-Vss on one benchmark at
+// the paper's operating point (70 nm, 110 C, 11-cycle L2) and print the
+// net-leakage-savings / performance-loss scorecard.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"hotleakage/internal/leakage"
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/sim"
+	"hotleakage/internal/workload"
+)
+
+func main() {
+	// The Table 2 machine with an on-chip 11-cycle L2.
+	mc := sim.DefaultMachine(11)
+	mc.Warmup = 200_000
+	mc.Instructions = 500_000
+
+	suite := sim.NewSuite(mc)
+	model := leakage.New(mc.Tech)
+
+	prof, _ := workload.ByName("gcc")
+	fmt.Printf("benchmark %s, %v, L2 hit latency %d cycles, decay interval %d\n\n",
+		prof.Name, mc.Tech.Node, mc.L2.HitLatency, sim.DefaultInterval)
+
+	base := suite.Baseline(prof)
+	fmt.Printf("baseline: IPC %.2f, D-L1 miss %.2f%%\n\n", base.CPU.IPC(),
+		100*float64(base.DStats.Misses)/float64(base.DStats.Accesses))
+
+	for _, tq := range []leakctl.Technique{leakctl.TechDrowsy, leakctl.TechGated, leakctl.TechRBB} {
+		params := leakctl.DefaultParams(tq, sim.DefaultInterval)
+		p := suite.Evaluate(prof, params, 110, model)
+		r := p.Run
+		fmt.Printf("%-10s net savings %5.1f%%  perf loss %4.2f%%  turnoff %4.1f%%\n",
+			tq, p.Cmp.NetSavingsPct, p.Cmp.PerfLossPct, 100*p.Cmp.TurnoffRatio)
+		fmt.Printf("           slow hits %d, induced misses %d, decay writebacks %d\n",
+			r.DStats.SlowHits, r.DStats.InducedMisses, r.DStats.DecayWritebacks)
+	}
+
+	fmt.Println("\nThe state-destroying technique is competitive because its standby")
+	fmt.Println("mode leaks ~40x less than drowsy's, and the out-of-order window hides")
+	fmt.Println("most of the induced-miss latency at on-chip L2 speeds.")
+}

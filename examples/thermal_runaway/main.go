@@ -1,0 +1,66 @@
+// Thermal runaway: the end-game of the leakage problem the paper opens
+// with. Leakage grows exponentially with temperature and temperature grows
+// with power — on a hot die with weak cooling this loop has no fixed point.
+// This example couples the HotLeakage model to a first-order thermal node
+// and sweeps the on-die SRAM budget, showing where the uncontrolled die
+// stops converging and how much headroom each leakage-control technique
+// buys at an 80% turnoff ratio.
+//
+//	go run ./examples/thermal_runaway
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"hotleakage/internal/leakage"
+	"hotleakage/internal/tech"
+	"hotleakage/internal/thermal"
+)
+
+func main() {
+	p := tech.MustByNode(tech.Node70)
+	m := leakage.New(p)
+	rc := thermal.Default70nm()
+	rc.RThermal = 1.5 // a cheap package
+	const coreDynW = 15.0
+	const turnoff = 0.80
+	const limitK = 400.0
+
+	power := func(mode leakage.Mode, cells int) func(float64) float64 {
+		return func(tempK float64) float64 {
+			m.SetEnv(leakage.Env{TempK: tempK, Vdd: p.VddNominal})
+			active := m.StructurePower(leakage.SRAM6T, cells, leakage.ModeActive)
+			if mode == leakage.ModeActive {
+				return coreDynW + active
+			}
+			standby := m.StructurePower(leakage.SRAM6T, cells, mode)
+			return coreDynW + (1-turnoff)*active + turnoff*standby
+		}
+	}
+
+	show := func(tempK float64, err error) string {
+		if errors.Is(err, thermal.ErrRunaway) {
+			return "RUNAWAY"
+		}
+		return fmt.Sprintf("%.1f C", tempK-273.15)
+	}
+
+	fmt.Printf("equilibrium die temperature vs on-die SRAM budget (R=%.1f K/W, %.0f W core)\n",
+		rc.RThermal, coreDynW)
+	fmt.Printf("%8s %14s %14s %14s %14s\n", "SRAM MB", "uncontrolled", "drowsy@80%", "gated@80%", "rbb@80%")
+	for _, mb := range []int{4, 8, 16, 24, 32, 48} {
+		cells := mb << 20 * 8
+		un, errU := rc.Equilibrium(power(leakage.ModeActive, cells), limitK)
+		dr, errD := rc.Equilibrium(power(leakage.ModeDrowsy, cells), limitK)
+		gt, errG := rc.Equilibrium(power(leakage.ModeGated, cells), limitK)
+		rb, errR := rc.Equilibrium(power(leakage.ModeRBB, cells), limitK)
+		fmt.Printf("%8d %14s %14s %14s %14s\n", mb,
+			show(un, errU), show(dr, errD), show(gt, errG), show(rb, errR))
+	}
+
+	fmt.Println("\nThe uncontrolled die crosses into runaway first; drowsy's 16% residual")
+	fmt.Println("buys a few sizes of headroom; gated-Vss's near-total shutoff moves the")
+	fmt.Println("wall furthest out — leakage control as a thermal-integrity feature, not")
+	fmt.Println("just an energy optimization.")
+}

@@ -1,0 +1,3 @@
+module hotleakage
+
+go 1.22

@@ -1,0 +1,80 @@
+// Package adaptive implements runtime-adaptive decay intervals (Section 5.4
+// of the paper). The paper's own contribution in this space is a "quite
+// simple" formal feedback-control technique: the tags stay awake so induced
+// misses can be identified, and a small state machine periodically updates
+// the register holding the decay interval. This package provides that
+// controller as a leakctl.Adapter, plus helpers for the oracle
+// best-interval study of Figures 12-13 / Table 3.
+package adaptive
+
+import "hotleakage/internal/leakctl"
+
+// Feedback is a multiplicative-increase / multiplicative-decrease
+// controller on the standby-access rate (induced misses for gated-Vss,
+// slow hits for drowsy — both are "the decay interval fired too early"
+// signals). Every Window cycles it compares the rate over the last window
+// against Target and doubles or halves the decay interval.
+//
+// The zero value is not usable; construct with NewFeedback.
+type Feedback struct {
+	// Target is the acceptable number of standby accesses (induced
+	// misses + slow hits) per 1000 cache accesses.
+	Target float64
+	// Slack is the hysteresis band: the interval grows above
+	// Target*(1+Slack) and shrinks below Target*(1-Slack).
+	Slack float64
+	// Window is the consultation period in cycles.
+	Window uint64
+	// Min and Max clamp the interval.
+	Min, Max uint64
+
+	interval uint64
+	last     leakctl.Stats
+	// Changes counts interval updates (observability).
+	Changes int
+}
+
+// NewFeedback builds a controller starting from the given interval. target
+// is in standby accesses per 1000 cache accesses; the gated-Vss energy
+// balance at 70 nm favours roughly 6-10 (an induced miss costs an L2 round
+// trip, a kept line costs its leakage; hotter silicon tolerates more
+// induced misses because the leakage at stake is larger).
+func NewFeedback(start uint64, target float64) *Feedback {
+	return &Feedback{
+		Target:   target,
+		Slack:    0.5,
+		Window:   16384,
+		Min:      1024,
+		Max:      65536,
+		interval: start,
+	}
+}
+
+// Every implements leakctl.Adapter.
+func (f *Feedback) Every() uint64 { return f.Window }
+
+// Recommend implements leakctl.Adapter.
+func (f *Feedback) Recommend(cycle uint64, s leakctl.Stats) uint64 {
+	dAcc := s.Accesses - f.last.Accesses
+	dBad := (s.InducedMisses + s.SlowHits) - (f.last.InducedMisses + f.last.SlowHits)
+	f.last = s
+	if f.interval == 0 {
+		f.interval = f.Min
+	}
+	if dAcc < 256 {
+		return f.interval // too little signal this window
+	}
+	rate := 1000 * float64(dBad) / float64(dAcc)
+	switch {
+	case rate > f.Target*(1+f.Slack) && f.interval < f.Max:
+		f.interval *= 2
+		f.Changes++
+	case rate < f.Target*(1-f.Slack) && f.interval > f.Min:
+		f.interval /= 2
+		f.Changes++
+	}
+	return f.interval
+}
+
+// Interval returns the controller's current interval.
+func (f *Feedback) Interval() uint64 { return f.interval }

@@ -1,0 +1,95 @@
+package adaptive
+
+import (
+	"testing"
+
+	"hotleakage/internal/leakctl"
+)
+
+func TestFeedbackRaisesIntervalUnderInducedMisses(t *testing.T) {
+	f := NewFeedback(4096, 3)
+	s := leakctl.Stats{Accesses: 10000, InducedMisses: 400} // 40 per 1k
+	iv := f.Recommend(16384, s)
+	if iv != 8192 {
+		t.Fatalf("interval after high induced rate = %d, want 8192", iv)
+	}
+	if f.Changes != 1 {
+		t.Fatalf("Changes = %d", f.Changes)
+	}
+}
+
+func TestFeedbackLowersIntervalWhenQuiet(t *testing.T) {
+	f := NewFeedback(16384, 3)
+	s := leakctl.Stats{Accesses: 10000, InducedMisses: 1} // 0.1 per 1k
+	if iv := f.Recommend(16384, s); iv != 8192 {
+		t.Fatalf("interval after quiet window = %d, want 8192", iv)
+	}
+}
+
+func TestFeedbackHoldsInBand(t *testing.T) {
+	f := NewFeedback(8192, 3)
+	s := leakctl.Stats{Accesses: 10000, InducedMisses: 30} // exactly target
+	if iv := f.Recommend(16384, s); iv != 8192 {
+		t.Fatalf("interval moved inside hysteresis band: %d", iv)
+	}
+}
+
+func TestFeedbackClamps(t *testing.T) {
+	f := NewFeedback(65536, 3)
+	var cum leakctl.Stats
+	for i := 0; i < 10; i++ {
+		cum.Accesses += 10000
+		cum.InducedMisses += 1000
+		f.Recommend(uint64(i)*f.Window, cum)
+	}
+	if f.Interval() != f.Max {
+		t.Fatalf("interval %d exceeded Max clamp %d", f.Interval(), f.Max)
+	}
+	f2 := NewFeedback(1024, 3)
+	var quiet leakctl.Stats
+	for i := 0; i < 10; i++ {
+		quiet.Accesses += 10000
+		f2.Recommend(uint64(i)*f2.Window, quiet)
+	}
+	if f2.Interval() != f2.Min {
+		t.Fatalf("interval %d fell below Min clamp %d", f2.Interval(), f2.Min)
+	}
+}
+
+func TestFeedbackIgnoresThinWindows(t *testing.T) {
+	f := NewFeedback(4096, 3)
+	s := leakctl.Stats{Accesses: 100, InducedMisses: 50} // too few accesses
+	if iv := f.Recommend(16384, s); iv != 4096 {
+		t.Fatalf("thin window moved the interval: %d", iv)
+	}
+}
+
+func TestFeedbackUsesDeltas(t *testing.T) {
+	f := NewFeedback(4096, 3)
+	// First window: hot.
+	s := leakctl.Stats{Accesses: 10000, InducedMisses: 400}
+	f.Recommend(1, s)
+	// Second window: no NEW induced misses; cumulative stats unchanged
+	// rates must read as quiet, not still-hot.
+	s.Accesses += 10000
+	iv := f.Recommend(2, s)
+	if iv != 4096 {
+		t.Fatalf("delta accounting broken: interval %d, want back to 4096", iv)
+	}
+}
+
+func TestFeedbackCountsSlowHits(t *testing.T) {
+	// For drowsy the early-decay signal is slow hits.
+	f := NewFeedback(4096, 3)
+	s := leakctl.Stats{Accesses: 10000, SlowHits: 400}
+	if iv := f.Recommend(1, s); iv != 8192 {
+		t.Fatalf("slow hits not treated as early-decay signal: %d", iv)
+	}
+}
+
+func TestEveryMatchesWindow(t *testing.T) {
+	f := NewFeedback(4096, 3)
+	if f.Every() != f.Window {
+		t.Fatal("Every != Window")
+	}
+}

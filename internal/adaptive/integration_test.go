@@ -1,0 +1,59 @@
+package adaptive
+
+import (
+	"testing"
+
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/sim"
+	"hotleakage/internal/workload"
+)
+
+// These tests run the controller inside the full simulator (skipped under
+// -short).
+
+func TestFeedbackImprovesGatedOnLongReuseBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// crafty's transposition-table reuse makes the default 4K interval
+	// poisonous for gated-Vss; the controller must walk the interval up
+	// and cut induced misses substantially.
+	mc := sim.DefaultMachine(11)
+	mc.Warmup = 150_000
+	mc.Instructions = 400_000
+	prof, _ := workload.ByName("crafty")
+
+	fixed := sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), nil)
+
+	ctl := NewFeedback(sim.DefaultInterval, 8)
+	adaptive := sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), ctl)
+
+	if ctl.Interval() <= sim.DefaultInterval {
+		t.Fatalf("controller did not raise the interval: %d", ctl.Interval())
+	}
+	if adaptive.DStats.InducedMisses >= fixed.DStats.InducedMisses {
+		t.Fatalf("feedback did not reduce induced misses: %d vs %d",
+			adaptive.DStats.InducedMisses, fixed.DStats.InducedMisses)
+	}
+	if adaptive.CPU.Cycles >= fixed.CPU.Cycles {
+		t.Fatalf("feedback did not reduce runtime: %d vs %d cycles",
+			adaptive.CPU.Cycles, fixed.CPU.Cycles)
+	}
+}
+
+func TestFeedbackLeavesShortReuseBenchmarkAlone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// gcc's lines die young: the controller should not balloon the
+	// interval (that would only forfeit turnoff).
+	mc := sim.DefaultMachine(11)
+	mc.Warmup = 150_000
+	mc.Instructions = 400_000
+	prof, _ := workload.ByName("gcc")
+	ctl := NewFeedback(sim.DefaultInterval, 8)
+	sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), ctl)
+	if ctl.Interval() > 4*sim.DefaultInterval {
+		t.Fatalf("controller overreacted on gcc: interval %d", ctl.Interval())
+	}
+}

@@ -1,0 +1,296 @@
+// Package cache implements the simulated memory hierarchy: set-associative
+// write-back, write-allocate caches with LRU replacement, plus a
+// fixed-latency main memory. The baseline L1 instruction cache, the unified
+// L2 and memory live here; the leakage-controlled L1 data cache (package
+// leakctl) is built from the same primitives.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hotleakage/internal/power"
+	"hotleakage/internal/tech"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	LineBytes  int
+	Assoc      int
+	HitLatency int
+	Banks      int // physical banks for the energy model (>=1)
+	TagBits    int // defaults to a 40-bit physical address tag if 0
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+// Validate reports configuration errors (non-power-of-two geometry, zero
+// sizes) before they become index-arithmetic bugs.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %q: size, line and assoc must be positive", c.Name)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible by line*assoc", c.Name, c.SizeBytes)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, s)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	if c.HitLatency < 1 {
+		return fmt.Errorf("cache %q: hit latency must be >= 1", c.Name)
+	}
+	return nil
+}
+
+// Geometry returns the energy-model geometry for this configuration.
+func (c Config) Geometry() power.CacheGeometry {
+	tb := c.TagBits
+	if tb == 0 {
+		tb = 40 - bits.TrailingZeros(uint(c.LineBytes)) - bits.TrailingZeros(uint(c.Sets()))
+		// valid + dirty + LRU state travel with the tag.
+		tb += 3
+	}
+	banks := c.Banks
+	if banks < 1 {
+		banks = 1
+	}
+	return power.CacheGeometry{
+		Sets: c.Sets(), Assoc: c.Assoc, LineBytes: c.LineBytes,
+		TagBits: tb, Banks: banks,
+	}
+}
+
+// Line is one cache line's bookkeeping state.
+type Line struct {
+	Tag     uint64
+	Valid   bool
+	Dirty   bool
+	LastUse uint64 // access-order stamp for LRU
+}
+
+// Stats accumulates per-level event counts.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+	Fills      uint64
+}
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Level is anything that can service a line-granular access and report its
+// latency in cycles. Memory and Cache both implement it.
+type Level interface {
+	// Access services a demand access to addr. write distinguishes
+	// stores. The returned latency is the full latency of this level and
+	// anything below it.
+	Access(addr uint64, write bool, cycle uint64) int
+	// Name identifies the level in reports.
+	Name() string
+}
+
+// Memory is the fixed-latency DRAM backstop.
+type Memory struct {
+	Latency int
+	Energy  float64 // per access, joules
+	Stats   Stats
+	DynJ    float64
+}
+
+// NewMemory builds main memory with the given access latency in cycles.
+func NewMemory(p *tech.Params, latency int) *Memory {
+	return &Memory{Latency: latency, Energy: power.MemoryAccessEnergy(p)}
+}
+
+// Access implements Level.
+func (m *Memory) Access(addr uint64, write bool, cycle uint64) int {
+	m.Stats.Accesses++
+	if write {
+		// Writes (writebacks) are buffered off the critical path.
+		m.DynJ += m.Energy
+		return 0
+	}
+	m.Stats.Hits++
+	m.DynJ += m.Energy
+	return m.Latency
+}
+
+// Name implements Level.
+func (m *Memory) Name() string { return "memory" }
+
+// ResetStats zeroes the event counters and energy meter (warmup support).
+func (m *Memory) ResetStats() {
+	m.Stats = Stats{}
+	m.DynJ = 0
+}
+
+// Cache is a plain (uncontrolled) set-associative write-back cache.
+type Cache struct {
+	Cfg    Config
+	Next   Level
+	Stats  Stats
+	Energy power.CacheEnergy
+	DynJ   float64 // accumulated dynamic energy in joules
+
+	lines     []Line // sets*assoc, row-major by set
+	assoc     int
+	setMask   uint64
+	lineShift uint
+	useStamp  uint64
+}
+
+// New builds a cache level on top of next. It panics on an invalid
+// configuration (construction happens at setup time with static configs).
+func New(p *tech.Params, cfg Config, next Level) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		Cfg:       cfg,
+		Next:      next,
+		Energy:    power.NewCacheEnergy(p, cfg.Geometry()),
+		lines:     make([]Line, sets*cfg.Assoc),
+		assoc:     cfg.Assoc,
+		setMask:   uint64(sets - 1),
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+	}
+}
+
+// Name implements Level.
+func (c *Cache) Name() string { return c.Cfg.Name }
+
+// HitLat returns the hit latency in cycles (cpu.FetchCache).
+func (c *Cache) HitLat() int { return c.Cfg.HitLatency }
+
+// Tick is a no-op for an uncontrolled cache (cpu.FetchCache).
+func (c *Cache) Tick(uint64) {}
+
+// ResetStats zeroes the event counters and energy meter, keeping contents
+// (warmup support).
+func (c *Cache) ResetStats() {
+	c.Stats = Stats{}
+	c.DynJ = 0
+}
+
+// Index splits a byte address into set index and tag.
+func (c *Cache) Index(addr uint64) (set uint64, tag uint64) {
+	lineAddr := addr >> c.lineShift
+	return lineAddr & c.setMask, lineAddr >> bits.TrailingZeros64(c.setMask+1)
+}
+
+// set returns the ways of set s as a slice.
+func (c *Cache) set(s uint64) []Line {
+	base := int(s) * c.assoc
+	return c.lines[base : base+c.assoc]
+}
+
+// Access implements Level: LRU lookup, miss to Next, write-back
+// write-allocate fill.
+func (c *Cache) Access(addr uint64, write bool, cycle uint64) int {
+	c.Stats.Accesses++
+	c.useStamp++
+	set, tag := c.Index(addr)
+	ways := c.set(set)
+
+	for i := range ways {
+		l := &ways[i]
+		if l.Valid && l.Tag == tag {
+			c.Stats.Hits++
+			l.LastUse = c.useStamp
+			if write {
+				l.Dirty = true
+				c.DynJ += c.Energy.WriteHit
+			} else {
+				c.DynJ += c.Energy.ReadHit
+			}
+			return c.Cfg.HitLatency
+		}
+	}
+
+	// Miss.
+	c.Stats.Misses++
+	c.DynJ += c.Energy.TagProbe
+	lat := c.Cfg.HitLatency
+	if c.Next != nil {
+		lat += c.Next.Access(addr, false, cycle)
+	}
+	c.fill(set, tag, write, cycle)
+	return lat
+}
+
+// fill installs addr's line into set, evicting the LRU way (writing back a
+// dirty victim).
+func (c *Cache) fill(set, tag uint64, write bool, cycle uint64) {
+	ways := c.set(set)
+	victim := 0
+	for i := range ways {
+		if !ways[i].Valid {
+			victim = i
+			break
+		}
+		if ways[i].LastUse < ways[victim].LastUse {
+			victim = i
+		}
+	}
+	v := &ways[victim]
+	if v.Valid && v.Dirty {
+		c.writeback(set, v, cycle)
+	}
+	*v = Line{Tag: tag, Valid: true, Dirty: write, LastUse: c.useStamp}
+	c.Stats.Fills++
+	c.DynJ += c.Energy.LineFill
+}
+
+// writeback pushes a dirty victim to the next level (off the critical path;
+// energy and traffic only).
+func (c *Cache) writeback(set uint64, v *Line, cycle uint64) {
+	c.Stats.Writebacks++
+	c.DynJ += c.Energy.LineRead
+	if c.Next != nil {
+		setsBits := bits.TrailingZeros64(c.setMask + 1)
+		addr := ((v.Tag << setsBits) | set) << c.lineShift
+		c.Next.Access(addr, true, cycle)
+	}
+	v.Dirty = false
+}
+
+// Contains reports whether addr's line is present (for tests and the
+// harness; does not touch LRU or stats).
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.Index(addr)
+	for _, l := range c.set(set) {
+		if l.Valid && l.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line, writing back dirty ones.
+func (c *Cache) Flush(cycle uint64) {
+	sets := int(c.setMask) + 1
+	for s := 0; s < sets; s++ {
+		ways := c.set(uint64(s))
+		for i := range ways {
+			if ways[i].Valid && ways[i].Dirty {
+				c.writeback(uint64(s), &ways[i], cycle)
+			}
+			ways[i] = Line{}
+		}
+	}
+}

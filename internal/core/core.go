@@ -1,0 +1,110 @@
+// Package core is the one-call entry point to the paper's primary
+// contribution: the state-preserving vs. non-state-preserving comparison.
+// It wires the HotLeakage model (internal/leakage), the controlled cache
+// (internal/leakctl), the Table 2 machine (internal/sim) and the net-savings
+// metric (internal/energy) behind a single function, for callers who want
+// the headline numbers without assembling the pieces.
+//
+//	res, err := core.CompareTechniques(core.Options{Benchmark: "gcc"})
+//
+// Everything in the result can also be obtained — with full control — from
+// the underlying packages; see the examples/ directory.
+package core
+
+import (
+	"fmt"
+
+	"hotleakage/internal/leakage"
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/sim"
+	"hotleakage/internal/workload"
+)
+
+// Options configures a comparison. Zero values select the paper's operating
+// point: 70 nm, 110 C, 11-cycle L2, 4K-cycle decay interval, 1M measured
+// instructions after a 300K warmup.
+type Options struct {
+	// Benchmark is one of workload.Names() (required).
+	Benchmark string
+	// L2Latency in cycles (default 11; the paper sweeps 5, 8, 11, 17).
+	L2Latency int
+	// TempC is the operating temperature in Celsius (default 110).
+	TempC float64
+	// DecayInterval in cycles (default 4096).
+	DecayInterval uint64
+	// Instructions / Warmup override the run length when non-zero.
+	Instructions, Warmup uint64
+	// Techniques to evaluate (default: drowsy and gated-Vss).
+	Techniques []leakctl.Technique
+	// Variation enables the inter-die Monte Carlo of Section 3.3.
+	Variation bool
+}
+
+// TechniqueResult is the headline outcome for one technique.
+type TechniqueResult struct {
+	Technique     leakctl.Technique
+	NetSavingsPct float64
+	PerfLossPct   float64
+	TurnoffRatio  float64
+	SlowHits      uint64
+	InducedMisses uint64
+}
+
+// Result bundles the comparison.
+type Result struct {
+	Benchmark   string
+	BaselineIPC float64
+	Techniques  []TechniqueResult
+}
+
+// CompareTechniques runs the comparison described by opts.
+func CompareTechniques(opts Options) (*Result, error) {
+	prof, ok := workload.ByName(opts.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q (have %v)", opts.Benchmark, workload.Names())
+	}
+	if opts.L2Latency == 0 {
+		opts.L2Latency = 11
+	}
+	if opts.TempC == 0 {
+		opts.TempC = 110
+	}
+	if opts.DecayInterval == 0 {
+		opts.DecayInterval = sim.DefaultInterval
+	}
+	if len(opts.Techniques) == 0 {
+		opts.Techniques = []leakctl.Technique{leakctl.TechDrowsy, leakctl.TechGated}
+	}
+
+	mc := sim.DefaultMachine(opts.L2Latency)
+	if opts.Instructions != 0 {
+		mc.Instructions = opts.Instructions
+	}
+	if opts.Warmup != 0 {
+		mc.Warmup = opts.Warmup
+	}
+	suite := sim.NewSuite(mc)
+	var mopts []leakage.Option
+	if opts.Variation {
+		mopts = append(mopts, leakage.WithVariation(leakage.DefaultVariation70nm()))
+	}
+	model := leakage.New(mc.Tech, mopts...)
+
+	res := &Result{Benchmark: prof.Name}
+	res.BaselineIPC = suite.Baseline(prof).CPU.IPC()
+	for _, tq := range opts.Techniques {
+		if tq == leakctl.TechNone {
+			continue
+		}
+		p := suite.Evaluate(prof, leakctl.DefaultParams(tq, opts.DecayInterval), opts.TempC, model)
+		res.Techniques = append(res.Techniques, TechniqueResult{
+			Technique:     tq,
+			NetSavingsPct: p.Cmp.NetSavingsPct,
+			PerfLossPct:   p.Cmp.PerfLossPct,
+			TurnoffRatio:  p.Cmp.TurnoffRatio,
+			SlowHits:      p.Run.DStats.SlowHits,
+			InducedMisses: p.Run.DStats.InducedMisses,
+		})
+	}
+	return res, nil
+}

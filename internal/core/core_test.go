@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"hotleakage/internal/leakctl"
+)
+
+func TestCompareTechniquesDefaults(t *testing.T) {
+	res, err := CompareTechniques(Options{
+		Benchmark:    "gcc",
+		Instructions: 120_000,
+		Warmup:       60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "gcc" || res.BaselineIPC <= 0 {
+		t.Fatalf("result header: %+v", res)
+	}
+	if len(res.Techniques) != 2 {
+		t.Fatalf("techniques = %d, want 2 (drowsy + gated)", len(res.Techniques))
+	}
+	for _, tr := range res.Techniques {
+		if tr.NetSavingsPct < -100 || tr.NetSavingsPct > 100 {
+			t.Errorf("%v savings %v out of range", tr.Technique, tr.NetSavingsPct)
+		}
+		if tr.TurnoffRatio <= 0 || tr.TurnoffRatio >= 1 {
+			t.Errorf("%v turnoff %v", tr.Technique, tr.TurnoffRatio)
+		}
+	}
+	// State-preserving vs not, visible in the event mix.
+	if res.Techniques[0].SlowHits == 0 || res.Techniques[0].InducedMisses != 0 {
+		t.Errorf("drowsy events: %+v", res.Techniques[0])
+	}
+	if res.Techniques[1].InducedMisses == 0 || res.Techniques[1].SlowHits != 0 {
+		t.Errorf("gated events: %+v", res.Techniques[1])
+	}
+}
+
+func TestCompareTechniquesUnknownBenchmark(t *testing.T) {
+	if _, err := CompareTechniques(Options{Benchmark: "nonesuch"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestCompareTechniquesCustomSet(t *testing.T) {
+	res, err := CompareTechniques(Options{
+		Benchmark:    "mcf",
+		Techniques:   []leakctl.Technique{leakctl.TechRBB},
+		Instructions: 100_000,
+		Warmup:       50_000,
+		L2Latency:    5,
+		TempC:        85,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Techniques) != 1 || res.Techniques[0].Technique != leakctl.TechRBB {
+		t.Fatalf("custom technique set: %+v", res.Techniques)
+	}
+}

@@ -1,0 +1,426 @@
+// Package cpu is the execution-timing substrate: a simplified 4-wide
+// out-of-order machine in the sim-outorder tradition, configured per the
+// paper's Table 2 (80-entry RUU, 40-entry LSQ, the 21264-like FU mix,
+// hybrid branch predictor with a 1K-entry 2-way BTB, 64 KB 2-way L1s, a
+// unified 2 MB L2 and 100-cycle memory).
+//
+// The model exists to reproduce the first-order effect the paper's argument
+// rests on: an aggressive out-of-order window overlaps independent work
+// with outstanding misses, so "modest L2 access latencies for induced
+// misses can be tolerated". Instructions come from a workload generator;
+// wrong-path execution is approximated by stalling fetch from a
+// mispredicted branch until it resolves (standard trace-driven treatment).
+package cpu
+
+import (
+	"hotleakage/internal/bpred"
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/workload"
+)
+
+// Config sizes the core.
+type Config struct {
+	FetchWidth  int
+	DecodeWidth int
+	IssueWidth  int
+	CommitWidth int
+	RUUSize     int
+	LSQSize     int
+	IntALUs     int
+	IntMulDivs  int
+	FPALUs      int
+	FPMulDivs   int
+	MemPorts    int
+	// MSHRs bounds the number of outstanding L1 D-cache misses; a load
+	// that needs a miss slot when all are busy waits (0 = unlimited).
+	MSHRs int
+	// MispredictPen is the front-end refill penalty added after a
+	// mispredicted branch resolves.
+	MispredictPen int
+	// ScanLimit caps how many un-issued RUU entries the scheduler
+	// examines per cycle (a real scheduler's select logic is similarly
+	// bounded).
+	ScanLimit int
+}
+
+// DefaultConfig is the paper's Table 2 machine.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:    4,
+		DecodeWidth:   4,
+		IssueWidth:    4,
+		CommitWidth:   4,
+		RUUSize:       80,
+		LSQSize:       40,
+		IntALUs:       4,
+		IntMulDivs:    1,
+		FPALUs:        2,
+		FPMulDivs:     1,
+		MemPorts:      2,
+		MSHRs:         8,
+		MispredictPen: 3,
+		ScanLimit:     32,
+	}
+}
+
+// opLatency returns the execution latency of a non-memory op.
+func opLatency(op workload.OpClass) uint64 {
+	switch op {
+	case workload.OpIntMul:
+		return 4
+	case workload.OpFPALU:
+		return 2
+	case workload.OpFPMul:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// Stats is the core's run summary.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Mispredicts  uint64
+	FetchStallCy uint64
+	ICacheStalls uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+type entry struct {
+	op     workload.OpClass
+	src1   uint64 // producer seq (0 = none; seqs start at 1)
+	src2   uint64
+	addr   uint64
+	issued bool
+	doneAt uint64
+}
+
+type fetched struct {
+	ins workload.Instr
+	seq uint64
+}
+
+// InstrSource supplies the instruction stream: a live workload.Generator or
+// a recorded trace (package trace) replayed from disk.
+type InstrSource interface {
+	Next(*workload.Instr)
+}
+
+// FetchCache is the instruction-cache contract: a plain cache.Cache or a
+// leakage-controlled leakctl.DCache both satisfy it, which is how the
+// I-cache leakage-control extension plugs in.
+type FetchCache interface {
+	Access(addr uint64, write bool, cycle uint64) int
+	HitLat() int
+	Tick(cycle uint64)
+}
+
+// Core wires the generator, predictor and memory hierarchy together.
+type Core struct {
+	Cfg    Config
+	Gen    InstrSource
+	Pred   *bpred.Predictor
+	ICache FetchCache
+	DCache *leakctl.DCache
+	Stats  Stats
+
+	ring    []entry
+	head    uint64 // oldest in-flight seq
+	tail    uint64 // one past the youngest dispatched seq
+	lsqUsed int
+	// mshrFree holds the completion times of outstanding D-cache misses.
+	mshrBusy []uint64
+
+	fetchBuf      []fetched
+	fetchStall    uint64 // first cycle fetch may run again
+	pendingBranch uint64 // seq of an unresolved mispredicted branch (0 = none)
+	lastFetchLine uint64
+
+	nextSeq uint64
+	now     uint64 // global cycle counter, persists across Run calls
+}
+
+// New builds a core over the given workload and hierarchy.
+func New(cfg Config, gen InstrSource, pred *bpred.Predictor, ic FetchCache, dc *leakctl.DCache) *Core {
+	return &Core{
+		Cfg:           cfg,
+		Gen:           gen,
+		Pred:          pred,
+		ICache:        ic,
+		DCache:        dc,
+		ring:          make([]entry, cfg.RUUSize),
+		nextSeq:       1,
+		head:          1,
+		tail:          1,
+		lastFetchLine: ^uint64(0),
+	}
+}
+
+// slot maps a sequence number to its ring entry.
+func (c *Core) slot(seq uint64) *entry {
+	return &c.ring[seq%uint64(len(c.ring))]
+}
+
+// ready reports whether producer seq's value is available at cycle.
+func (c *Core) ready(producer, cycle uint64) bool {
+	if producer == 0 || producer < c.head {
+		return true // no dependence, or producer already committed
+	}
+	if producer >= c.tail {
+		return true // dependence ran off the generated window (free)
+	}
+	e := c.slot(producer)
+	return e.issued && e.doneAt <= cycle
+}
+
+// Run simulates until n further instructions commit (beyond whatever has
+// already committed) and returns the cumulative statistics. Machine state —
+// caches, predictor, in-flight window — persists across calls, which is how
+// the harness implements warmup: Run(warmup), ResetStats, Run(measure).
+func (c *Core) Run(n uint64) Stats {
+	target := c.Stats.Instructions + n
+	start := c.now
+	for c.Stats.Instructions < target {
+		c.now++
+		c.DCache.Tick(c.now)
+		c.ICache.Tick(c.now)
+		c.commit(c.now)
+		c.issue(c.now)
+		c.dispatch(c.now)
+		c.fetch(c.now)
+	}
+	c.Stats.Cycles += c.now - start
+	return c.Stats
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() uint64 { return c.now }
+
+// ResetStats zeroes the core's counters (not its architectural state) so a
+// measurement phase can follow a warmup phase.
+func (c *Core) ResetStats() { c.Stats = Stats{} }
+
+// commit retires up to CommitWidth oldest completed entries in order.
+func (c *Core) commit(cycle uint64) {
+	for w := 0; w < c.Cfg.CommitWidth && c.head < c.tail; w++ {
+		e := c.slot(c.head)
+		if !e.issued || e.doneAt > cycle {
+			return
+		}
+		if e.op.IsMem() {
+			c.lsqUsed--
+		}
+		c.head++
+		c.Stats.Instructions++
+	}
+}
+
+// issue selects ready un-issued entries oldest-first, bounded by issue
+// width, FU availability and the scan limit.
+func (c *Core) issue(cycle uint64) {
+	ialu, imul, fpalu, fpmul, mem := c.Cfg.IntALUs, c.Cfg.IntMulDivs, c.Cfg.FPALUs, c.Cfg.FPMulDivs, c.Cfg.MemPorts
+	issued, scanned := 0, 0
+	for seq := c.head; seq < c.tail && issued < c.Cfg.IssueWidth && scanned < c.Cfg.ScanLimit; seq++ {
+		e := c.slot(seq)
+		if e.issued {
+			continue
+		}
+		scanned++
+		if !c.ready(e.src1, cycle) || !c.ready(e.src2, cycle) {
+			continue
+		}
+		var lat uint64
+		switch e.op {
+		case workload.OpLoad:
+			if mem == 0 {
+				continue
+			}
+			if c.Cfg.MSHRs > 0 && !c.mshrAvailable(cycle) {
+				continue // all miss slots busy; retry next cycle
+			}
+			mem--
+			c.Stats.Loads++
+			lat = uint64(c.DCache.Access(e.addr, false, cycle))
+			if lat > uint64(c.DCache.Cfg.HitLatency) && c.Cfg.MSHRs > 0 {
+				c.mshrBusy = append(c.mshrBusy, cycle+lat)
+			}
+		case workload.OpStore:
+			if mem == 0 {
+				continue
+			}
+			mem--
+			c.Stats.Stores++
+			// Store data is buffered; dependents don't wait on
+			// the array write. The access happens now for cache
+			// state and energy.
+			c.DCache.Access(e.addr, true, cycle)
+			lat = 1
+		case workload.OpIntMul:
+			if imul == 0 {
+				continue
+			}
+			imul--
+			lat = opLatency(e.op)
+		case workload.OpFPALU:
+			if fpalu == 0 {
+				continue
+			}
+			fpalu--
+			lat = opLatency(e.op)
+		case workload.OpFPMul:
+			if fpmul == 0 {
+				continue
+			}
+			fpmul--
+			lat = opLatency(e.op)
+		default:
+			if ialu == 0 {
+				continue
+			}
+			ialu--
+			lat = opLatency(e.op)
+		}
+		e.issued = true
+		e.doneAt = cycle + lat
+		issued++
+	}
+}
+
+// mshrAvailable reaps completed miss slots and reports whether one is free.
+func (c *Core) mshrAvailable(cycle uint64) bool {
+	live := c.mshrBusy[:0]
+	for _, done := range c.mshrBusy {
+		if done > cycle {
+			live = append(live, done)
+		}
+	}
+	c.mshrBusy = live
+	return len(c.mshrBusy) < c.Cfg.MSHRs
+}
+
+// dispatch moves fetched instructions into the RUU/LSQ.
+func (c *Core) dispatch(cycle uint64) {
+	for w := 0; w < c.Cfg.DecodeWidth && len(c.fetchBuf) > 0; w++ {
+		if c.tail-c.head >= uint64(c.Cfg.RUUSize) {
+			return
+		}
+		f := c.fetchBuf[0]
+		if f.ins.Op.IsMem() && c.lsqUsed >= c.Cfg.LSQSize {
+			return
+		}
+		c.fetchBuf = c.fetchBuf[1:]
+		e := c.slot(f.seq)
+		*e = entry{op: f.ins.Op, addr: f.ins.Addr}
+		if d := uint64(uint32(f.ins.Src1)); d != 0 && f.seq > d {
+			e.src1 = f.seq - d
+		}
+		if d := uint64(uint32(f.ins.Src2)); d != 0 && f.seq > d {
+			e.src2 = f.seq - d
+		}
+		if f.ins.Op.IsMem() {
+			c.lsqUsed++
+		}
+		c.tail = f.seq + 1
+	}
+}
+
+// fetch brings up to FetchWidth instructions into the fetch buffer,
+// modelling I-cache misses and branch-predictor redirects.
+func (c *Core) fetch(cycle uint64) {
+	if c.pendingBranch != 0 {
+		// Waiting on a mispredicted branch. Once it has issued, its
+		// resolution time is known and fetch can be scheduled.
+		if c.pendingBranch < c.tail {
+			if e := c.slot(c.pendingBranch); e.issued {
+				c.fetchStall = e.doneAt + uint64(c.Cfg.MispredictPen)
+				c.pendingBranch = 0
+			}
+		}
+		if c.pendingBranch != 0 {
+			c.Stats.FetchStallCy++
+			return
+		}
+	}
+	if cycle < c.fetchStall {
+		c.Stats.FetchStallCy++
+		return
+	}
+	if len(c.fetchBuf) >= 2*c.Cfg.FetchWidth {
+		return
+	}
+	for w := 0; w < c.Cfg.FetchWidth; w++ {
+		var ins workload.Instr
+		c.Gen.Next(&ins)
+		seq := c.nextSeq
+		c.nextSeq++
+		c.fetchBuf = append(c.fetchBuf, fetched{ins, seq})
+
+		stop := false
+
+		// I-cache: one access per new line in the fetch stream.
+		if line := ins.PC >> 6; line != c.lastFetchLine {
+			c.lastFetchLine = line
+			if lat := c.ICache.Access(ins.PC, false, cycle); lat > c.ICache.HitLat() {
+				c.Stats.ICacheStalls++
+				c.fetchStall = cycle + uint64(lat)
+				stop = true
+			}
+		}
+
+		if ins.Op.IsCTI() {
+			c.Stats.Branches++
+			misp, bubble := c.predictCTI(&ins)
+			if misp {
+				c.Stats.Mispredicts++
+				c.pendingBranch = seq
+				return
+			}
+			if bubble {
+				// Right direction, target from decode: short
+				// front-end bubble.
+				c.fetchStall = cycle + 2
+				return
+			}
+			if ins.Taken {
+				// Correct taken prediction: redirected fetch
+				// continues next cycle.
+				return
+			}
+		}
+		if stop {
+			return
+		}
+	}
+}
+
+// predictCTI runs the predictor for a control transfer. mispredict means a
+// wrong-path flush; bubble means a decode-supplied target (short stall).
+func (c *Core) predictCTI(ins *workload.Instr) (mispredict, bubble bool) {
+	switch ins.Op {
+	case workload.OpBranch:
+		pr := c.Pred.Lookup(ins.PC)
+		return c.Pred.Update(ins.PC, pr, ins.Taken, ins.Target)
+	case workload.OpCall:
+		// Direct call: target known at decode; train the BTB and RAS.
+		c.Pred.PushRAS(ins.PC + 4)
+		pr := c.Pred.Lookup(ins.PC)
+		c.Pred.Update(ins.PC, pr, true, ins.Target)
+		return false, !pr.BTBHit
+	case workload.OpReturn:
+		// Return: mispredicted iff the RAS is wrong.
+		return c.Pred.PopRAS() != ins.Target, false
+	default: // OpJump: direct, decoded target
+		return false, true
+	}
+}

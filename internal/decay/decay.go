@@ -1,0 +1,222 @@
+// Package decay implements the cache-decay counter machinery shared by both
+// leakage-control techniques (Section 2.3 of the paper): a single global
+// counter that counts from zero up to one quarter of the decay interval and
+// then starts over, plus a local two-bit counter per cache line. When the
+// global counter rolls over, every local counter is incremented; when a
+// local counter is incremented past its maximum the line has been idle for
+// the full decay interval and is deactivated. Local counters reset to zero
+// on every access (the drowsy paper's "noaccess" policy).
+//
+// The "simple" policy (also from the drowsy paper) ignores access history
+// and blankets the whole cache into standby every interval.
+package decay
+
+// Policy selects how lines are chosen for deactivation.
+type Policy int
+
+// Policies.
+const (
+	// PolicyNoAccess deactivates a line only after it has been idle for
+	// the full decay interval (per-line 2-bit counters).
+	PolicyNoAccess Policy = iota
+	// PolicySimple deactivates every line each time a full interval
+	// elapses, with no per-line history.
+	PolicySimple
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == PolicySimple {
+		return "simple"
+	}
+	return "noaccess"
+}
+
+// localMax is the saturation value of the per-line 2-bit counter.
+const localMax = 3
+
+// selMax is the saturation value of the per-line interval selector in
+// per-line adaptive mode (Kaxiras-style: 2 bits choose among four
+// exponentially spaced intervals, base << 2*sel).
+const selMax = 3
+
+// Machine is the decay-counter state for one cache's lines.
+type Machine struct {
+	interval uint64
+	quarter  uint64
+	nextRoll uint64
+	rolls    uint64 // rollovers since the interval was last set
+	policy   Policy
+	counters []uint8
+
+	// Per-line adaptive mode (Kaxiras et al.): each line owns a 2-bit
+	// selector choosing its decay interval from {base, 4*base, 16*base,
+	// 64*base}; rollCounts counts base/4 rollovers since the last touch.
+	perLine    bool
+	sel        []uint8
+	rollCounts []uint16
+
+	// Stats.
+	Rollovers   uint64
+	LocalBumps  uint64
+	LocalResets uint64
+	Expiries    uint64
+	Promotions  uint64
+	Demotions   uint64
+}
+
+// New builds a decay machine for lines cache lines with the given interval
+// in cycles. interval == 0 disables decay entirely.
+func New(lines int, interval uint64, policy Policy) *Machine {
+	m := &Machine{
+		policy:   policy,
+		counters: make([]uint8, lines),
+	}
+	m.setInterval(interval, 0)
+	return m
+}
+
+// NewPerLine builds a per-line adaptive decay machine: every line starts at
+// the base interval and is promoted toward longer intervals each time decay
+// proves premature (an induced miss / slow hit) and demoted when a decayed
+// line dies for real. Only the noaccess policy makes sense here.
+func NewPerLine(lines int, baseInterval uint64) *Machine {
+	m := New(lines, baseInterval, PolicyNoAccess)
+	m.perLine = true
+	m.sel = make([]uint8, lines)
+	m.rollCounts = make([]uint16, lines)
+	return m
+}
+
+// PerLine reports whether the machine is in per-line adaptive mode.
+func (m *Machine) PerLine() bool { return m.perLine }
+
+// lineThreshold returns how many base/4 rollovers of idleness decay line i.
+func (m *Machine) lineThreshold(i int) uint16 {
+	return uint16(4) << (2 * m.sel[i])
+}
+
+// Promote moves line i to the next longer decay interval (its decay was
+// premature). No-op outside per-line mode or at saturation.
+func (m *Machine) Promote(i int) {
+	if !m.perLine || m.sel[i] >= selMax {
+		return
+	}
+	m.sel[i]++
+	m.Promotions++
+}
+
+// Demote moves line i to the next shorter decay interval (its decayed
+// contents were never missed). No-op outside per-line mode or at zero.
+func (m *Machine) Demote(i int) {
+	if !m.perLine || m.sel[i] == 0 {
+		return
+	}
+	m.sel[i]--
+	m.Demotions++
+}
+
+// Sel exposes line i's interval selector (tests).
+func (m *Machine) Sel(i int) uint8 {
+	if !m.perLine {
+		return 0
+	}
+	return m.sel[i]
+}
+
+// Interval returns the current decay interval in cycles (0 = disabled).
+func (m *Machine) Interval() uint64 { return m.interval }
+
+// Policy returns the machine's deactivation policy.
+func (m *Machine) Policy() Policy { return m.policy }
+
+func (m *Machine) setInterval(interval, cycle uint64) {
+	m.interval = interval
+	if interval == 0 {
+		m.quarter = 0
+		m.nextRoll = ^uint64(0)
+		return
+	}
+	q := interval / 4
+	if q == 0 {
+		q = 1
+	}
+	m.quarter = q
+	m.nextRoll = cycle + q
+	m.rolls = 0
+}
+
+// SetInterval changes the decay interval at runtime (used by the adaptive
+// schemes of Section 5.4). Local counters keep their values; the next
+// rollover is rescheduled from the current cycle.
+func (m *Machine) SetInterval(interval, cycle uint64) {
+	m.setInterval(interval, cycle)
+}
+
+// Touch resets line i's local counter on an access.
+func (m *Machine) Touch(i int) {
+	if m.interval == 0 || m.policy == PolicySimple {
+		return
+	}
+	if m.perLine {
+		if m.rollCounts[i] != 0 {
+			m.rollCounts[i] = 0
+			m.LocalResets++
+		}
+		return
+	}
+	if m.counters[i] != 0 {
+		m.counters[i] = 0
+		m.LocalResets++
+	}
+}
+
+// Advance processes any global-counter rollovers that occurred up to and
+// including cycle. expire is called with each line index whose idle time
+// has crossed the decay interval (PolicyNoAccess) or with every line on an
+// interval boundary (PolicySimple). The callback must be idempotent for
+// already-standby lines.
+func (m *Machine) Advance(cycle uint64, expire func(line int)) {
+	if m.interval == 0 {
+		return
+	}
+	for cycle >= m.nextRoll {
+		m.Rollovers++
+		m.rolls++
+		switch {
+		case m.perLine:
+			for i := range m.rollCounts {
+				if th := m.lineThreshold(i); m.rollCounts[i] >= th {
+					m.Expiries++
+					expire(i)
+					continue
+				}
+				m.rollCounts[i]++
+				m.LocalBumps++
+			}
+		case m.policy == PolicyNoAccess:
+			for i := range m.counters {
+				if m.counters[i] >= localMax {
+					m.Expiries++
+					expire(i)
+					continue
+				}
+				m.counters[i]++
+				m.LocalBumps++
+			}
+		case m.policy == PolicySimple:
+			// Blanket deactivation every full interval (every
+			// fourth quarter-rollover).
+			if m.rolls%4 == 0 {
+				for i := range m.counters {
+					m.Expiries++
+					expire(i)
+				}
+			}
+		}
+		m.nextRoll += m.quarter
+	}
+}
+
+// Counter exposes line i's local counter value (tests, adaptive probes).
+func (m *Machine) Counter(i int) uint8 { return m.counters[i] }

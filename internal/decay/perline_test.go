@@ -1,0 +1,104 @@
+package decay
+
+import "testing"
+
+func TestPerLineStartsAtBaseInterval(t *testing.T) {
+	m := NewPerLine(2, 1024)
+	if !m.PerLine() {
+		t.Fatal("PerLine() false")
+	}
+	expired := map[int]bool{}
+	// Base interval 1024: untouched lines expire after 4 quarter-rolls
+	// plus one reporting roll.
+	m.Advance(5*256+1, func(i int) { expired[i] = true })
+	if !expired[0] || !expired[1] {
+		t.Fatalf("lines did not expire at base interval: %v", expired)
+	}
+}
+
+func TestPromoteLengthensInterval(t *testing.T) {
+	m := NewPerLine(1, 1024)
+	m.Promote(0) // 4x base
+	if m.Sel(0) != 1 {
+		t.Fatalf("sel = %d", m.Sel(0))
+	}
+	expired := false
+	// One base interval: must NOT expire (line now needs 4x base idle).
+	m.Advance(6*256, func(int) { expired = true })
+	if expired {
+		t.Fatal("promoted line expired at base interval")
+	}
+	// 4x base + slack: must expire.
+	m.Advance(18*256, func(int) { expired = true })
+	if !expired {
+		t.Fatal("promoted line never expired at 4x base")
+	}
+}
+
+func TestDemoteShortensInterval(t *testing.T) {
+	m := NewPerLine(1, 1024)
+	m.Promote(0)
+	m.Demote(0)
+	if m.Sel(0) != 0 {
+		t.Fatalf("sel after promote+demote = %d", m.Sel(0))
+	}
+	if m.Promotions != 1 || m.Demotions != 1 {
+		t.Fatalf("stats: %d/%d", m.Promotions, m.Demotions)
+	}
+}
+
+func TestSelectorSaturates(t *testing.T) {
+	m := NewPerLine(1, 1024)
+	for i := 0; i < 10; i++ {
+		m.Promote(0)
+	}
+	if m.Sel(0) != 3 {
+		t.Fatalf("sel = %d, want saturation at 3", m.Sel(0))
+	}
+	for i := 0; i < 10; i++ {
+		m.Demote(0)
+	}
+	if m.Sel(0) != 0 {
+		t.Fatalf("sel = %d, want floor at 0", m.Sel(0))
+	}
+	if m.Promotions != 3 || m.Demotions != 3 {
+		t.Fatalf("saturated moves counted: %d/%d", m.Promotions, m.Demotions)
+	}
+}
+
+func TestPerLineTouchResets(t *testing.T) {
+	m := NewPerLine(1, 1024)
+	expired := false
+	for cycle := uint64(0); cycle < 20*1024; cycle += 128 {
+		m.Advance(cycle, func(int) { expired = true })
+		m.Touch(0)
+	}
+	if expired {
+		t.Fatal("touched line expired in per-line mode")
+	}
+}
+
+func TestPromoteDemoteNoopInGlobalMode(t *testing.T) {
+	m := New(2, 1024, PolicyNoAccess)
+	m.Promote(0)
+	m.Demote(1)
+	if m.Promotions != 0 || m.Demotions != 0 {
+		t.Fatal("global-mode machine accepted promote/demote")
+	}
+	if m.Sel(0) != 0 {
+		t.Fatal("Sel in global mode")
+	}
+}
+
+func TestPerLineIndependentLines(t *testing.T) {
+	m := NewPerLine(2, 1024)
+	m.Promote(0) // line 0: 4x base; line 1: base
+	expired := map[int]int{}
+	m.Advance(6*256, func(i int) { expired[i]++ })
+	if expired[0] != 0 {
+		t.Fatal("promoted line expired early")
+	}
+	if expired[1] == 0 {
+		t.Fatal("base line did not expire")
+	}
+}

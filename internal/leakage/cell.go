@@ -1,0 +1,107 @@
+package leakage
+
+// Cell describes a repeated circuit cell (an SRAM bit, a decoder gate, a
+// sense amplifier) in the terms of the paper's double-k_design model
+// (Section 3.1.2):
+//
+//	I_cell = n_n * k_n * I_n  +  n_p * k_p * I_p            (Equation 3)
+//
+// where I_n and I_p are unit subthreshold leakages of the two polarities and
+// k_n / k_p fold in transistor stacking and aspect ratios. Gate leakage adds
+// the tunneling current of the transistors whose channel is inverted.
+type Cell struct {
+	// Name identifies the cell in reports.
+	Name string
+	// NN and NP are the NMOS and PMOS transistor counts.
+	NN, NP int
+	// WLn / WLp scale the unit leakage by the cell's actual aspect
+	// ratios (unit leakage is defined at W/L = 1).
+	WLn, WLp float64
+	// GateN / GateP are the number of N/P devices with an inverted
+	// channel in the quiescent state (gate-leakage contributors).
+	GateN, GateP int
+	// Class selects which k_design fit applies.
+	Class CellClass
+}
+
+// CellClass selects the k_design fit family for a cell.
+type CellClass int
+
+// Cell classes with pre-derived k_design fits in the technology tables.
+const (
+	ClassSRAM CellClass = iota
+	ClassLogic
+)
+
+// SRAM6T is the standard six-transistor SRAM cell: cross-coupled inverters
+// (2N + 2P) plus two NMOS access transistors. In the quiescent state one
+// inverter NMOS and one inverter PMOS conduct, so two devices contribute
+// gate leakage; the two access devices are off (wordline low).
+var SRAM6T = Cell{
+	Name:  "sram6t",
+	NN:    4,
+	NP:    2,
+	WLn:   1.0, // folded into the k_design fit; unit W/L here
+	WLp:   1.0,
+	GateN: 1,
+	GateP: 1,
+	Class: ClassSRAM,
+}
+
+// DecoderNAND is a representative 3-input NAND used in row decoders.
+var DecoderNAND = Cell{
+	Name:  "decoder-nand3",
+	NN:    3,
+	NP:    3,
+	WLn:   2.0,
+	WLp:   2.8,
+	GateN: 1,
+	GateP: 2,
+	Class: ClassLogic,
+}
+
+// SenseAmp is a coarse latch-style sense amplifier cell.
+var SenseAmp = Cell{
+	Name:  "senseamp",
+	NN:    5,
+	NP:    4,
+	WLn:   4.0,
+	WLp:   5.6,
+	GateN: 2,
+	GateP: 2,
+	Class: ClassLogic,
+}
+
+// InverterDriver is a wordline/output driver pair.
+var InverterDriver = Cell{
+	Name:  "driver",
+	NN:    2,
+	NP:    2,
+	WLn:   6.0,
+	WLp:   8.4,
+	GateN: 1,
+	GateP: 1,
+	Class: ClassLogic,
+}
+
+// RegFileCell is a heavily multi-ported register-file bit (the second
+// structure HotLeakage ships models for, besides caches): a storage pair
+// plus read-port stacks and write-port access devices for a 21264-class
+// 4-read/2-write integer file. More transistors and wider devices than an
+// SRAM bit mean a register file leaks several times more per bit.
+var RegFileCell = Cell{
+	Name:  "regfile-4r2w",
+	NN:    12, // 2 storage + 4x2 read-port stacks + 2 write access
+	NP:    2,
+	WLn:   1.8,
+	WLp:   1.2,
+	GateN: 1,
+	GateP: 1,
+	Class: ClassSRAM,
+}
+
+// RegFilePower returns the static power of an entries x bits register file
+// in the given mode at the model's current environment.
+func RegFilePower(m *Model, entries, bits int, mode Mode) float64 {
+	return m.StructurePower(RegFileCell, entries*bits, mode)
+}

@@ -1,0 +1,269 @@
+package leakage
+
+// This file implements the k_design derivation procedure of Section 3.1.2:
+// enumerate the input combinations of a static CMOS gate, split them into
+// the set that turns off the pull-down (NMOS) network and the set that turns
+// off the pull-up (PMOS) network, estimate each combination's leakage with a
+// stack-effect model, and form
+//
+//	k_n = (I_1n + I_2n + ...) / (N * n_n * I_n)        (Equation 5)
+//	k_p = (I_1p + I_2p + ...) / (N * n_p * I_p)        (Equation 6)
+//
+// The derivation is used to validate the pre-fit k_design tables in package
+// tech and to let users derive factors for their own cells, mirroring the
+// paper's "adding models for other structures is very simple" claim.
+
+// Network is a pull-up or pull-down transistor network described
+// structurally, so that conduction and stacked-off leakage can be evaluated
+// per input combination.
+type Network interface {
+	// Conducting reports whether the network conducts for the given
+	// input vector (true input = logic high).
+	Conducting(inputs []bool) bool
+	// offLeak returns the network's leakage in units of a single off
+	// device's current, assuming the network as a whole is off.
+	// stackFactor is the per-extra-series-off-device attenuation.
+	offLeak(inputs []bool, stackFactor float64) float64
+	// count returns the number of transistors in the network.
+	count() int
+}
+
+// FET is a single transistor controlled by input Index. For an NMOS device
+// ActiveHigh is true (conducts when the input is high); for a PMOS device it
+// is false.
+type FET struct {
+	Index      int
+	ActiveHigh bool
+}
+
+// Conducting implements Network.
+func (f FET) Conducting(in []bool) bool { return in[f.Index] == f.ActiveHigh }
+
+func (f FET) offLeak(in []bool, _ float64) float64 {
+	if f.Conducting(in) {
+		// A conducting device in an otherwise-off path contributes
+		// no series resistance; callers handle this at the Series
+		// level. A lone conducting FET cannot be "off".
+		return 0
+	}
+	return 1
+}
+
+func (f FET) count() int { return 1 }
+
+// Series is a series (stacked) connection of sub-networks.
+type Series []Network
+
+// Conducting implements Network: a series chain conducts iff every element
+// conducts.
+func (s Series) Conducting(in []bool) bool {
+	for _, n := range s {
+		if !n.Conducting(in) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Series) offLeak(in []bool, stack float64) float64 {
+	// Leakage through a series chain is limited by its most resistive
+	// off element, further attenuated by the stack effect for each
+	// additional off element (intermediate nodes float up, giving the
+	// lower devices negative Vgs).
+	minLeak := 0.0
+	offCount := 0
+	first := true
+	for _, n := range s {
+		if n.Conducting(in) {
+			continue
+		}
+		offCount++
+		l := n.offLeak(in, stack)
+		if first || l < minLeak {
+			minLeak = l
+			first = false
+		}
+	}
+	if offCount == 0 {
+		return 0 // chain conducts; not a leakage path
+	}
+	l := minLeak
+	for i := 1; i < offCount; i++ {
+		l *= stack
+	}
+	return l
+}
+
+func (s Series) count() int {
+	c := 0
+	for _, n := range s {
+		c += n.count()
+	}
+	return c
+}
+
+// Parallel is a parallel connection of sub-networks.
+type Parallel []Network
+
+// Conducting implements Network: a parallel group conducts iff any branch
+// conducts.
+func (p Parallel) Conducting(in []bool) bool {
+	for _, n := range p {
+		if n.Conducting(in) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p Parallel) offLeak(in []bool, stack float64) float64 {
+	sum := 0.0
+	for _, n := range p {
+		sum += n.offLeak(in, stack)
+	}
+	return sum
+}
+
+func (p Parallel) count() int {
+	c := 0
+	for _, n := range p {
+		c += n.count()
+	}
+	return c
+}
+
+// Gate is a static CMOS gate: complementary pull-down (NMOS) and pull-up
+// (PMOS) networks over the same inputs.
+type Gate struct {
+	Name     string
+	Inputs   int
+	PullDown Network // NMOS network to ground
+	PullUp   Network // PMOS network to Vdd
+}
+
+// DefaultStackFactor is the per-extra-off-device series attenuation used in
+// k_design derivation; transistor-level simulation of stacked off devices
+// shows roughly an order of magnitude reduction per extra device, and the
+// paper's sleep transistors exploit exactly this effect.
+const DefaultStackFactor = 0.12
+
+// KDesign holds derived k_n and k_p factors for a gate.
+type KDesign struct {
+	Kn, Kp float64
+}
+
+// DeriveKDesign enumerates all 2^Inputs input combinations of g and applies
+// Equations 5-8 of the paper with the given stack factor (pass
+// DefaultStackFactor unless calibrating). The returned factors are in units
+// of a single off device's current, i.e. directly comparable with the
+// KDesignFit tables in package tech.
+func DeriveKDesign(g Gate, stackFactor float64) KDesign {
+	nn := g.PullDown.count()
+	np := g.PullUp.count()
+	total := 1 << g.Inputs
+	in := make([]bool, g.Inputs)
+	var sumN, sumP float64
+	for combo := 0; combo < total; combo++ {
+		for b := 0; b < g.Inputs; b++ {
+			in[b] = combo&(1<<b) != 0
+		}
+		pdOn := g.PullDown.Conducting(in)
+		puOn := g.PullUp.Conducting(in)
+		// For a complementary gate exactly one network is off per
+		// combination; non-complementary (e.g. tristate) gates can
+		// have both off.
+		if !pdOn {
+			sumN += g.PullDown.offLeak(in, stackFactor)
+		}
+		if !puOn {
+			sumP += g.PullUp.offLeak(in, stackFactor)
+		}
+	}
+	return KDesign{
+		Kn: sumN / (float64(total) * float64(nn)),
+		Kp: sumP / (float64(total) * float64(np)),
+	}
+}
+
+// NAND2 is the two-input NAND of the paper's worked example (Figure 2):
+// series NMOS pull-down, parallel PMOS pull-up.
+func NAND2() Gate {
+	return Gate{
+		Name:   "nand2",
+		Inputs: 2,
+		PullDown: Series{
+			FET{Index: 0, ActiveHigh: true},
+			FET{Index: 1, ActiveHigh: true},
+		},
+		PullUp: Parallel{
+			FET{Index: 0, ActiveHigh: false},
+			FET{Index: 1, ActiveHigh: false},
+		},
+	}
+}
+
+// NOR2 is a two-input NOR: parallel pull-down, series pull-up.
+func NOR2() Gate {
+	return Gate{
+		Name:   "nor2",
+		Inputs: 2,
+		PullDown: Parallel{
+			FET{Index: 0, ActiveHigh: true},
+			FET{Index: 1, ActiveHigh: true},
+		},
+		PullUp: Series{
+			FET{Index: 0, ActiveHigh: false},
+			FET{Index: 1, ActiveHigh: false},
+		},
+	}
+}
+
+// Inverter is a single-input inverter.
+func Inverter() Gate {
+	return Gate{
+		Name:     "inv",
+		Inputs:   1,
+		PullDown: FET{Index: 0, ActiveHigh: true},
+		PullUp:   FET{Index: 0, ActiveHigh: false},
+	}
+}
+
+// DeriveSRAMKDesign derives k_n / k_p for the quiescent 6T SRAM cell by
+// enumerating its two stable states (the cell-level analogue of the gate
+// input enumeration). In each state, with the wordline low and bitlines
+// precharged high, exactly two NMOS devices leak (one inverter pull-down
+// holding a '1' node, and the access device on the '0' side) and one PMOS
+// leaks (the pull-up facing the '0' node); no stacks are involved. With
+// Equations 5-6 over the two states this gives k_n = (2+2)/(2*4) = 0.5 and
+// k_p = (1+1)/(2*2) = 0.5 in unit-device terms — exactly "half the devices
+// of each polarity leak". The pre-fit tables in package tech sit below
+// these because they also fold in the fitted stack/short-channel
+// corrections and their temperature/supply drift.
+func DeriveSRAMKDesign() KDesign {
+	const states = 2
+	// Per state: leaking N devices and P devices, in unit-current terms.
+	nPerState := 2.0 // inverter pull-down at the '1' node + one access FET
+	pPerState := 1.0 // pull-up facing the '0' node
+	return KDesign{
+		Kn: states * nPerState / (states * float64(SRAM6T.NN)),
+		Kp: states * pPerState / (states * float64(SRAM6T.NP)),
+	}
+}
+
+// NAND3 is a three-input NAND (the decoder cell shape).
+func NAND3() Gate {
+	return Gate{
+		Name:   "nand3",
+		Inputs: 3,
+		PullDown: Series{
+			FET{Index: 0, ActiveHigh: true},
+			FET{Index: 1, ActiveHigh: true},
+			FET{Index: 2, ActiveHigh: true},
+		},
+		PullUp: Parallel{
+			FET{Index: 0, ActiveHigh: false},
+			FET{Index: 1, ActiveHigh: false},
+			FET{Index: 2, ActiveHigh: false},
+		},
+	}
+}

@@ -1,0 +1,144 @@
+package leakage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNAND2KDesignHandComputed(t *testing.T) {
+	// Paper's worked example (Figure 2): four input combinations; three
+	// turn off the series NMOS pull-down, one turns off the parallel
+	// PMOS pull-up. With stack factor s:
+	//   k_n = (s + 1 + 1) / (4*2), k_p = 2 / (4*2).
+	s := 0.12
+	kd := DeriveKDesign(NAND2(), s)
+	wantKn := (s + 1 + 1) / 8
+	wantKp := 2.0 / 8
+	if math.Abs(kd.Kn-wantKn) > 1e-12 {
+		t.Errorf("NAND2 k_n = %v, want %v", kd.Kn, wantKn)
+	}
+	if math.Abs(kd.Kp-wantKp) > 1e-12 {
+		t.Errorf("NAND2 k_p = %v, want %v", kd.Kp, wantKp)
+	}
+}
+
+func TestNOR2IsNAND2Dual(t *testing.T) {
+	s := 0.12
+	nand := DeriveKDesign(NAND2(), s)
+	nor := DeriveKDesign(NOR2(), s)
+	if math.Abs(nand.Kn-nor.Kp) > 1e-12 || math.Abs(nand.Kp-nor.Kn) > 1e-12 {
+		t.Fatalf("NOR2 not the dual of NAND2: nand=%+v nor=%+v", nand, nor)
+	}
+}
+
+func TestInverterKDesign(t *testing.T) {
+	// Inverter: one combination turns off the N device (input low), one
+	// the P device. k_n = 1/(2*1) = 0.5 = k_p.
+	kd := DeriveKDesign(Inverter(), 0.12)
+	if kd.Kn != 0.5 || kd.Kp != 0.5 {
+		t.Fatalf("inverter k = %+v, want 0.5/0.5", kd)
+	}
+}
+
+func TestNAND3StackLowersKn(t *testing.T) {
+	s := 0.12
+	k2 := DeriveKDesign(NAND2(), s)
+	k3 := DeriveKDesign(NAND3(), s)
+	if k3.Kn >= k2.Kn {
+		t.Fatalf("deeper stack should lower k_n: nand3=%v nand2=%v", k3.Kn, k2.Kn)
+	}
+}
+
+func TestStackFactorMonotonic(t *testing.T) {
+	// A weaker stack effect (larger factor) can only increase k_n.
+	prev := -1.0
+	for _, s := range []float64{0.05, 0.12, 0.3, 0.6, 1.0} {
+		k := DeriveKDesign(NAND2(), s).Kn
+		if k <= prev {
+			t.Fatalf("k_n not increasing with stack factor at %v", s)
+		}
+		prev = k
+	}
+}
+
+func TestComplementaryGateConduction(t *testing.T) {
+	// Property: for the library gates exactly one of pull-up/pull-down
+	// conducts for every input combination.
+	for _, g := range []Gate{Inverter(), NAND2(), NAND3(), NOR2()} {
+		total := 1 << g.Inputs
+		in := make([]bool, g.Inputs)
+		for combo := 0; combo < total; combo++ {
+			for b := 0; b < g.Inputs; b++ {
+				in[b] = combo&(1<<b) != 0
+			}
+			pd := g.PullDown.Conducting(in)
+			pu := g.PullUp.Conducting(in)
+			if pd == pu {
+				t.Fatalf("%s: inputs %v: pd=%v pu=%v (not complementary)", g.Name, in, pd, pu)
+			}
+		}
+	}
+}
+
+func TestKDesignBoundsProperty(t *testing.T) {
+	// Property: 0 < k <= 1 for complementary gates with stack factor in
+	// (0, 1].
+	f := func(sRaw uint8) bool {
+		s := (float64(sRaw%100) + 1) / 100
+		for _, g := range []Gate{Inverter(), NAND2(), NAND3(), NOR2()} {
+			kd := DeriveKDesign(g, s)
+			if kd.Kn <= 0 || kd.Kn > 1 || kd.Kp <= 0 || kd.Kp > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkCounts(t *testing.T) {
+	g := NAND3()
+	if g.PullDown.count() != 3 || g.PullUp.count() != 3 {
+		t.Fatalf("NAND3 counts: %d/%d", g.PullDown.count(), g.PullUp.count())
+	}
+}
+
+func TestParallelOffLeakSums(t *testing.T) {
+	// Two off FETs in parallel leak twice one FET.
+	p := Parallel{FET{Index: 0, ActiveHigh: true}, FET{Index: 1, ActiveHigh: true}}
+	in := []bool{false, false}
+	if l := p.offLeak(in, 0.12); l != 2 {
+		t.Fatalf("parallel off leak = %v, want 2", l)
+	}
+}
+
+func TestSeriesStackAttenuates(t *testing.T) {
+	s := Series{FET{Index: 0, ActiveHigh: true}, FET{Index: 1, ActiveHigh: true}}
+	// Both off: one unit attenuated once.
+	if l := s.offLeak([]bool{false, false}, 0.1); math.Abs(l-0.1) > 1e-12 {
+		t.Fatalf("series both-off leak = %v, want 0.1", l)
+	}
+	// One off: full unit leak through the conducting partner.
+	if l := s.offLeak([]bool{true, false}, 0.1); l != 1 {
+		t.Fatalf("series one-off leak = %v, want 1", l)
+	}
+}
+
+func TestSRAMKDesignDerivation(t *testing.T) {
+	kd := DeriveSRAMKDesign()
+	if kd.Kn != 0.5 || kd.Kp != 0.5 {
+		t.Fatalf("SRAM k = %+v, want 0.5/0.5 (half the devices leak per state)", kd)
+	}
+	// The pre-fit table values must sit within the physically sensible
+	// band around the derivation (below it: fitted stack/short-channel
+	// corrections only reduce the ideal factor).
+	p := p70()
+	kn := p.KnSRAM.Eval(300, p.VddNominal, p.Vdd0)
+	kp := p.KpSRAM.Eval(300, p.VddNominal, p.Vdd0)
+	if kn < 0.15 || kn > kd.Kn+0.1 || kp < 0.15 || kp > kd.Kp+0.1 {
+		t.Fatalf("tech-table SRAM fits (%v/%v) outside derivation band", kn, kp)
+	}
+}

@@ -1,0 +1,197 @@
+package leakage
+
+import (
+	"fmt"
+
+	"hotleakage/internal/tech"
+)
+
+// Mode identifies the leakage state of a cell or group of cells.
+type Mode int
+
+// Leakage modes. ModeActive is normal operation; the three standby modes
+// correspond to the techniques of Section 2: drowsy (state-preserving, low
+// standby Vdd), gated-Vss (non-state-preserving, high-Vt footer
+// disconnect), and reverse body bias (state-preserving, raised Vth).
+const (
+	ModeActive Mode = iota
+	ModeDrowsy
+	ModeGated
+	ModeRBB
+	numModes
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeActive:
+		return "active"
+	case ModeDrowsy:
+		return "drowsy"
+	case ModeGated:
+		return "gated-vss"
+	case ModeRBB:
+		return "rbb"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Env is the dynamic operating point: temperature in kelvin and supply
+// voltage in volts. HotLeakage recalculates all cached currents whenever
+// the environment changes (SetEnv), which is what makes it usable under
+// dynamically varying temperature or DVS.
+type Env struct {
+	TempK float64
+	Vdd   float64
+}
+
+// CelsiusToKelvin converts an operating temperature given in Celsius (the
+// paper quotes 85C and 110C) to kelvin.
+func CelsiusToKelvin(c float64) float64 { return c + 273.15 }
+
+// Model is the HotLeakage model instance: a technology node, an optional
+// inter-die variation multiplier, and a cache of per-polarity unit currents
+// at the current environment. It is cheap to query and cheap to
+// re-environment.
+type Model struct {
+	P   *tech.Params
+	Var VariationConfig
+
+	env Env
+	// Cached unit currents at env, per mode. Indexed by mode.
+	unitN    [numModes]float64
+	unitP    [numModes]float64
+	unitGate [numModes]float64
+	// Effective supply seen by a cell in each mode (sets the V in P=V*I).
+	veff [numModes]float64
+	// Variation multipliers, computed once at construction (inter-die
+	// variation is a per-chip constant).
+	varRes VariationResult
+}
+
+// Option configures a Model.
+type Option func(*Model)
+
+// WithVariation enables inter-die parameter variation with the given
+// configuration.
+func WithVariation(cfg VariationConfig) Option {
+	return func(m *Model) { m.Var = cfg }
+}
+
+// New constructs a Model for the given node parameters at the node's
+// nominal supply and 300 K. Call SetEnv to move to the operating point of
+// interest.
+func New(p *tech.Params, opts ...Option) *Model {
+	m := &Model{P: p}
+	for _, o := range opts {
+		o(m)
+	}
+	m.varRes = RunVariation(p, m.Var, tech.RoomTempK, p.VddNominal)
+	m.SetEnv(Env{TempK: tech.RoomTempK, Vdd: p.VddNominal})
+	return m
+}
+
+// Env returns the current operating point.
+func (m *Model) Env() Env { return m.env }
+
+// SetEnv moves the model to a new operating point and recalculates every
+// cached current. This is the dynamic-recalculation entry point the paper
+// describes in Section 3.4 ("these need to be called whenever any of the
+// parameters ... that affect leakage is changed").
+func (m *Model) SetEnv(env Env) {
+	m.env = env
+	p := m.P
+	tK := env.TempK
+
+	vthN := p.VthAt(p.N, tK)
+	vthP := p.VthAt(p.P, tK)
+
+	// Active: nominal supply, nominal thresholds.
+	m.veff[ModeActive] = env.Vdd
+	m.unitN[ModeActive] = UnitSubthreshold(p, p.N, 1, env.Vdd, tK, vthN) * m.varRes.SubN
+	m.unitP[ModeActive] = UnitSubthreshold(p, p.P, 1, env.Vdd, tK, vthP) * m.varRes.SubP
+	m.unitGate[ModeActive] = UnitGate(p, 1, env.Vdd, tK) * m.varRes.Gate
+
+	// Drowsy: cell supply collapses to ~1.5*Vth. Both the DIBL term and
+	// the V in P = V*I drop; state is preserved.
+	vdr := p.DrowsyVdd()
+	if vdr > env.Vdd {
+		vdr = env.Vdd
+	}
+	m.veff[ModeDrowsy] = vdr
+	m.unitN[ModeDrowsy] = UnitSubthreshold(p, p.N, 1, vdr, tK, vthN) * m.varRes.SubN
+	m.unitP[ModeDrowsy] = UnitSubthreshold(p, p.P, 1, vdr, tK, vthP) * m.varRes.SubP
+	m.unitGate[ModeDrowsy] = UnitGate(p, 1, vdr, tK) * m.varRes.Gate
+
+	// Gated-Vss: the row is disconnected from ground by an off high-Vt
+	// footer; residual current is the footer's subthreshold leakage
+	// further attenuated by the stack effect of the (also off) cell
+	// devices in series. Gate tunneling collapses with the internal
+	// rail. State is lost.
+	footer := UnitSubthreshold(p, p.N, 1, env.Vdd, tK, p.VthAt(tech.DeviceParams{Vth0: p.SleepVth, Mu0: p.N.Mu0, DIBLb: p.N.DIBLb, Swing: p.N.Swing, Voff: p.N.Voff}, tK))
+	m.veff[ModeGated] = env.Vdd
+	m.unitN[ModeGated] = footer * p.SleepStackFactor * m.varRes.SubN
+	m.unitP[ModeGated] = footer * p.SleepStackFactor * m.varRes.SubP
+	m.unitGate[ModeGated] = 0
+
+	// RBB: body bias raises Vth in standby; supply (and therefore gate
+	// leakage and DIBL) unchanged; state preserved. GIDL limits how far
+	// Vth can usefully be raised (Section 3.2).
+	vthNr := vthN + p.RBBVthShift
+	vthPr := vthP + p.RBBVthShift
+	m.veff[ModeRBB] = env.Vdd
+	m.unitN[ModeRBB] = UnitSubthreshold(p, p.N, 1, env.Vdd, tK, vthNr) * m.varRes.SubN
+	m.unitP[ModeRBB] = UnitSubthreshold(p, p.P, 1, env.Vdd, tK, vthPr) * m.varRes.SubP
+	m.unitGate[ModeRBB] = m.unitGate[ModeActive]
+}
+
+// Variation returns the inter-die variation multipliers in effect.
+func (m *Model) Variation() VariationResult { return m.varRes }
+
+// kFor returns the (k_n, k_p) design factors for a cell class at the current
+// environment.
+func (m *Model) kFor(class CellClass) (kn, kp float64) {
+	p := m.P
+	switch class {
+	case ClassSRAM:
+		return p.KnSRAM.Eval(m.env.TempK, m.env.Vdd, p.Vdd0),
+			p.KpSRAM.Eval(m.env.TempK, m.env.Vdd, p.Vdd0)
+	default:
+		return p.KnLogic.Eval(m.env.TempK, m.env.Vdd, p.Vdd0),
+			p.KpLogic.Eval(m.env.TempK, m.env.Vdd, p.Vdd0)
+	}
+}
+
+// CellCurrent returns the total quiescent current of one cell in the given
+// mode (Equation 3 plus gate leakage), in amperes.
+func (m *Model) CellCurrent(c Cell, mode Mode) float64 {
+	kn, kp := m.kFor(c.Class)
+	sub := float64(c.NN)*kn*m.unitN[mode]*c.WLn + float64(c.NP)*kp*m.unitP[mode]*c.WLp
+	gate := (float64(c.GateN)*c.WLn + float64(c.GateP)*c.WLp) * m.unitGate[mode]
+	return sub + gate
+}
+
+// CellPower returns the static power of one cell in the given mode
+// (Equation 4 per cell: V_effective * I_cell), in watts.
+func (m *Model) CellPower(c Cell, mode Mode) float64 {
+	return m.veff[mode] * m.CellCurrent(c, mode)
+}
+
+// StructurePower returns the static power of count identical cells in the
+// given mode: P = V * N_cells * I_cell (Equation 4).
+func (m *Model) StructurePower(c Cell, count int, mode Mode) float64 {
+	return float64(count) * m.CellPower(c, mode)
+}
+
+// StandbyFraction returns the ratio of standby-mode cell power to
+// active-mode cell power for the given technique mode — the residual
+// leakage fraction. Gated-Vss is expected to be well under drowsy
+// ("gated-Vss is able to almost entirely eliminate leakage, whereas
+// state-preserving techniques ... still exhibit a non-trivial amount").
+func (m *Model) StandbyFraction(c Cell, mode Mode) float64 {
+	a := m.CellPower(c, ModeActive)
+	if a == 0 {
+		return 0
+	}
+	return m.CellPower(c, mode) / a
+}

@@ -1,0 +1,141 @@
+package leakage
+
+import (
+	"math"
+	"testing"
+
+	"hotleakage/internal/tech"
+)
+
+func hotModel() *Model {
+	m := New(p70())
+	m.SetEnv(Env{TempK: CelsiusToKelvin(110), Vdd: 0.9})
+	return m
+}
+
+func TestCelsiusToKelvin(t *testing.T) {
+	if k := CelsiusToKelvin(110); math.Abs(k-383.15) > 1e-9 {
+		t.Fatalf("110C = %vK", k)
+	}
+}
+
+func TestModeOrdering(t *testing.T) {
+	// Gated-Vss "almost entirely eliminates leakage"; RBB is in between;
+	// drowsy "still exhibits a non-trivial amount"; active leaks most.
+	m := hotModel()
+	active := m.CellPower(SRAM6T, ModeActive)
+	drowsy := m.CellPower(SRAM6T, ModeDrowsy)
+	rbb := m.CellPower(SRAM6T, ModeRBB)
+	gated := m.CellPower(SRAM6T, ModeGated)
+	if !(gated < rbb && rbb < drowsy && drowsy < active) {
+		t.Fatalf("mode ordering violated: gated=%v rbb=%v drowsy=%v active=%v",
+			gated, rbb, drowsy, active)
+	}
+}
+
+func TestResidualFractionBands(t *testing.T) {
+	// Literature bands: drowsy standby 8-25% of active cell power,
+	// gated-Vss under 2%, RBB 2-10%.
+	m := hotModel()
+	dr := m.StandbyFraction(SRAM6T, ModeDrowsy)
+	gt := m.StandbyFraction(SRAM6T, ModeGated)
+	rb := m.StandbyFraction(SRAM6T, ModeRBB)
+	if dr < 0.08 || dr > 0.25 {
+		t.Errorf("drowsy residual %v outside [0.08, 0.25]", dr)
+	}
+	if gt > 0.02 {
+		t.Errorf("gated residual %v above 0.02", gt)
+	}
+	if rb < 0.02 || rb > 0.10 {
+		t.Errorf("rbb residual %v outside [0.02, 0.10]", rb)
+	}
+	if !(gt < rb && rb < dr) {
+		t.Errorf("residual ordering violated: %v %v %v", gt, rb, dr)
+	}
+}
+
+func TestSetEnvRecalculates(t *testing.T) {
+	m := New(p70())
+	m.SetEnv(Env{TempK: 300, Vdd: 0.9})
+	cold := m.CellPower(SRAM6T, ModeActive)
+	m.SetEnv(Env{TempK: 383, Vdd: 0.9})
+	hot := m.CellPower(SRAM6T, ModeActive)
+	if hot <= cold {
+		t.Fatalf("SetEnv did not pick up temperature: %v vs %v", cold, hot)
+	}
+	m.SetEnv(Env{TempK: 383, Vdd: 0.5})
+	dvs := m.CellPower(SRAM6T, ModeActive)
+	if dvs >= hot {
+		t.Fatalf("SetEnv did not pick up DVS: %v vs %v", dvs, hot)
+	}
+	if got := m.Env(); got.TempK != 383 || got.Vdd != 0.5 {
+		t.Fatalf("Env() = %+v", got)
+	}
+}
+
+func TestStructurePowerLinearInCount(t *testing.T) {
+	m := hotModel()
+	p1 := m.StructurePower(SRAM6T, 1000, ModeActive)
+	p2 := m.StructurePower(SRAM6T, 2000, ModeActive)
+	if math.Abs(p2/p1-2) > 1e-9 {
+		t.Fatalf("structure power not linear: %v %v", p1, p2)
+	}
+}
+
+func Test64KBArrayPowerBand(t *testing.T) {
+	// A 64 KB data array at 110C should land in the hundreds-of-mW band
+	// the ITRS-2001 projections predicted for hot 70 nm caches.
+	m := hotModel()
+	w := m.StructurePower(SRAM6T, 64*1024*8, ModeActive)
+	if w < 0.05 || w > 0.6 {
+		t.Fatalf("64KB array at 110C = %v W, outside [0.05, 0.6]", w)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeActive: "active", ModeDrowsy: "drowsy",
+		ModeGated: "gated-vss", ModeRBB: "rbb",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func TestTemperatureMonotonicAllModes(t *testing.T) {
+	m := New(p70())
+	for _, mode := range []Mode{ModeActive, ModeDrowsy, ModeGated, ModeRBB} {
+		prev := 0.0
+		for _, tc := range []float64{25, 55, 85, 110} {
+			m.SetEnv(Env{TempK: CelsiusToKelvin(tc), Vdd: 0.9})
+			pw := m.CellPower(SRAM6T, mode)
+			if pw <= prev {
+				t.Errorf("%v power not increasing at %vC", mode, tc)
+			}
+			prev = pw
+		}
+	}
+}
+
+func TestGateLeakageIncludedInActive(t *testing.T) {
+	// A cell with gate-leakage contributors must leak more than the same
+	// cell with them zeroed.
+	m := hotModel()
+	with := m.CellCurrent(SRAM6T, ModeActive)
+	noGate := SRAM6T
+	noGate.GateN, noGate.GateP = 0, 0
+	without := m.CellCurrent(noGate, ModeActive)
+	if with <= without {
+		t.Fatalf("gate leakage not contributing: %v vs %v", with, without)
+	}
+}
+
+func TestAllNodesConstructible(t *testing.T) {
+	for _, n := range []tech.Node{tech.Node180, tech.Node130, tech.Node100, tech.Node70} {
+		m := New(tech.MustByNode(n))
+		if p := m.CellPower(SRAM6T, ModeActive); p <= 0 {
+			t.Errorf("%v: non-positive cell power %v", n, p)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package leakage implements the HotLeakage architectural leakage model from
+// the paper: BSIM3-based subthreshold leakage with explicit temperature,
+// supply-voltage and threshold-voltage dependence (Section 3.1), a
+// double-k_design per-cell model (Section 3.1.2), curve-fit gate leakage
+// (Section 3.2), and inter-die parameter variation (Section 3.3).
+//
+// All currents are in amperes and all powers in watts. The model is
+// deliberately cheap to evaluate so that leakage can be recalculated
+// dynamically whenever temperature or supply voltage changes at runtime
+// (DVS, thermal drift), which is the feature that distinguishes HotLeakage
+// from the static Butts-Sohi formulation.
+package leakage
+
+import (
+	"math"
+
+	"hotleakage/internal/tech"
+)
+
+// ThermalVoltage returns v_t = kT/q at the given temperature in kelvin.
+func ThermalVoltage(tK float64) float64 { return tech.BoltzmannOverQ * tK }
+
+// UnitSubthreshold evaluates the BSIM3 v3.2 subthreshold leakage of a single
+// transistor (Equation 2 of the paper):
+//
+//	I = mu(T) * Cox * (W/L) * e^{b(Vdd-Vdd0)} * v_t^2 * (1 - e^{-Vdd/v_t}) * e^{(-|Vth|-Voff)/(n*v_t)}
+//
+// with the two assumptions stated in the paper: Vgs = 0 (device off) and
+// Vds = Vdd (single device; stacking is folded into k_design). vth is the
+// threshold-voltage magnitude to use; pass p.VthAt(d, tK) for the nominal
+// temperature-derated threshold, or an overridden value for techniques such
+// as RBB that manipulate Vth.
+func UnitSubthreshold(p *tech.Params, d tech.DeviceParams, wl, vdd, tK, vth float64) float64 {
+	if vdd <= 0 || tK <= 0 || wl <= 0 {
+		return 0
+	}
+	vt := ThermalVoltage(tK)
+	mu := d.Mu0 * math.Pow(tK/tech.RoomTempK, -p.MobTempExp)
+	cox := p.CoxFperM2()
+	dibl := math.Exp(d.DIBLb * (vdd - p.Vdd0))
+	body := vt * vt * (1 - math.Exp(-vdd/vt))
+	gate := math.Exp((-math.Abs(vth) - d.Voff) / (d.Swing * vt))
+	return mu * cox * wl * dibl * body * gate
+}
+
+// UnitSubthresholdNominal is UnitSubthreshold with the node's
+// temperature-derated nominal threshold voltage.
+func UnitSubthresholdNominal(p *tech.Params, d tech.DeviceParams, wl, vdd, tK float64) float64 {
+	return UnitSubthreshold(p, d, wl, vdd, tK, p.VthAt(d, tK))
+}
+
+// UnitGate evaluates the curve-fit direct-tunneling gate leakage of a single
+// transistor with a conducting channel (Section 3.2). Gate leakage is
+// strongly dependent on oxide thickness and supply voltage and only weakly
+// on temperature; the fit is anchored at the node's reference point (for
+// 70 nm: 40 nA/um at t_ox = 1.2 nm, 0.9 V, 300 K).
+func UnitGate(p *tech.Params, wl, vdd, tK float64) float64 {
+	g := p.Gate
+	if vdd <= 0 || wl <= 0 {
+		return 0
+	}
+	v := math.Pow(vdd/g.VRef, g.VddExp)
+	tox := math.Exp(-g.ToxSens * (p.ToxM - g.ToxRef) / g.ToxRef)
+	temp := 1 + g.TCoef*(tK-tech.RoomTempK)
+	if temp < 0 {
+		temp = 0
+	}
+	return g.IRef * wl * v * tox * temp
+}
+
+// GIDLWarningVth is the threshold-magnitude beyond which the simple
+// subthreshold + DIBL model stops tracking transistor-level simulation
+// because gate-induced drain leakage (GIDL) floors the current (paper
+// Figure 1d and Section 3.2). RBBLimited reports whether a proposed RBB
+// threshold shift has run into this regime.
+const GIDLWarningVth = 0.45
+
+// RBBLimited reports whether raising the threshold voltage to vth at the
+// given node is beyond the point where GIDL limits further leakage
+// reduction, i.e. where the model's predicted savings would be optimistic.
+func RBBLimited(vth float64) bool { return vth > GIDLWarningVth }

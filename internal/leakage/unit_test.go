@@ -1,0 +1,161 @@
+package leakage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hotleakage/internal/tech"
+)
+
+// The tests in this file verify the Figure 1 sensitivities of the paper:
+// unit leakage linear in W/L (1a), increasing in Vdd via DIBL (1b),
+// exponential in temperature (1c), and exponentially decreasing in Vth (1d).
+
+func p70() *tech.Params { return tech.MustByNode(tech.Node70) }
+
+func TestUnitLeakageLinearInWL(t *testing.T) {
+	p := p70()
+	i1 := UnitSubthresholdNominal(p, p.N, 1, 0.9, 300)
+	i2 := UnitSubthresholdNominal(p, p.N, 2, 0.9, 300)
+	i4 := UnitSubthresholdNominal(p, p.N, 4, 0.9, 300)
+	if math.Abs(i2/i1-2) > 1e-9 || math.Abs(i4/i1-4) > 1e-9 {
+		t.Fatalf("W/L scaling not linear: %v %v %v", i1, i2, i4)
+	}
+}
+
+func TestUnitLeakageIncreasesWithVdd(t *testing.T) {
+	p := p70()
+	prev := 0.0
+	for v := 0.2; v <= 1.0; v += 0.1 {
+		i := UnitSubthresholdNominal(p, p.N, 1, v, 300)
+		if i <= prev {
+			t.Fatalf("leakage not increasing at Vdd=%v: %v <= %v", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestUnitLeakageExponentialInTemperature(t *testing.T) {
+	p := p70()
+	i300 := UnitSubthresholdNominal(p, p.N, 1, 0.9, 300)
+	i358 := UnitSubthresholdNominal(p, p.N, 1, 0.9, 358)
+	i383 := UnitSubthresholdNominal(p, p.N, 1, 0.9, 383)
+	if !(i300 < i358 && i358 < i383) {
+		t.Fatalf("leakage not increasing in T: %v %v %v", i300, i358, i383)
+	}
+	// Room temperature to 110C should be several-fold (the paper's
+	// motivation for modelling temperature explicitly).
+	if ratio := i383 / i300; ratio < 3 || ratio > 30 {
+		t.Fatalf("300K->383K leakage ratio %v outside [3,30]", ratio)
+	}
+}
+
+func TestUnitLeakageDecreasesWithVth(t *testing.T) {
+	p := p70()
+	prev := math.Inf(1)
+	for vth := 0.1; vth <= 0.5; vth += 0.05 {
+		i := UnitSubthreshold(p, p.N, 1, 0.9, 300, vth)
+		if i >= prev {
+			t.Fatalf("leakage not decreasing at Vth=%v", vth)
+		}
+		prev = i
+	}
+}
+
+func TestUnitLeakageZeroOnDegenerateInputs(t *testing.T) {
+	p := p70()
+	if UnitSubthreshold(p, p.N, 0, 0.9, 300, 0.2) != 0 {
+		t.Error("W/L=0 should leak nothing")
+	}
+	if UnitSubthreshold(p, p.N, 1, 0, 300, 0.2) != 0 {
+		t.Error("Vdd=0 should leak nothing")
+	}
+	if UnitGate(p, 0, 0.9, 300) != 0 || UnitGate(p, 1, 0, 300) != 0 {
+		t.Error("degenerate gate leakage not zero")
+	}
+}
+
+func TestUnitLeakageMagnitude70nm(t *testing.T) {
+	// Tens of nA per unit device at room temperature for hot 70 nm
+	// projections (ITRS-2001 band the paper works in).
+	p := p70()
+	i := UnitSubthresholdNominal(p, p.N, 1, 0.9, 300)
+	if i < 5e-9 || i > 5e-7 {
+		t.Fatalf("unit subthreshold leakage %v A outside plausible 70nm band", i)
+	}
+}
+
+func TestGateLeakageAnchor(t *testing.T) {
+	// The paper targets 40 nA/um at 70 nm, 1.2 nm t_ox, 0.9 V, 300 K.
+	// With W = L = 70 nm that is 2.8 nA per unit device.
+	p := p70()
+	i := UnitGate(p, 1, 0.9, 300)
+	if math.Abs(i-2.8e-9) > 0.3e-9 {
+		t.Fatalf("gate leakage anchor = %v A, want ~2.8e-9", i)
+	}
+}
+
+func TestGateLeakageSupplySensitivity(t *testing.T) {
+	p := p70()
+	hi := UnitGate(p, 1, 0.9, 300)
+	lo := UnitGate(p, 1, 0.3, 300)
+	if lo >= hi/5 {
+		t.Fatalf("gate leakage should collapse at low Vdd: %v vs %v", lo, hi)
+	}
+}
+
+func TestGateLeakageWeakTemperatureDependence(t *testing.T) {
+	p := p70()
+	i300 := UnitGate(p, 1, 0.9, 300)
+	i383 := UnitGate(p, 1, 0.9, 383)
+	if r := i383 / i300; r < 1.0 || r > 1.2 {
+		t.Fatalf("gate leakage T sensitivity %v should be weak (1.0-1.2)", r)
+	}
+}
+
+func TestThermalVoltage(t *testing.T) {
+	if v := ThermalVoltage(300); math.Abs(v-0.02585) > 1e-4 {
+		t.Fatalf("v_t(300K) = %v, want ~0.02585", v)
+	}
+}
+
+func TestRBBLimited(t *testing.T) {
+	if RBBLimited(0.3) {
+		t.Error("0.3 V should not be GIDL-limited")
+	}
+	if !RBBLimited(0.5) {
+		t.Error("0.5 V should be GIDL-limited")
+	}
+}
+
+func TestSubthresholdPositiveProperty(t *testing.T) {
+	// Property: leakage is positive and finite over the whole sane
+	// operating envelope.
+	p := p70()
+	f := func(wlRaw, vddRaw, tRaw, vthRaw uint16) bool {
+		wl := 0.5 + float64(wlRaw%80)/10     // 0.5 - 8.4
+		vdd := 0.1 + float64(vddRaw%100)/100 // 0.1 - 1.09
+		tK := 250 + float64(tRaw%200)        // 250 - 449 K
+		vth := 0.05 + float64(vthRaw%60)/100 // 0.05 - 0.64
+		i := UnitSubthreshold(p, p.N, wl, vdd, tK, vth)
+		return i > 0 && !math.IsInf(i, 0) && !math.IsNaN(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeakageOrderAcrossNodes(t *testing.T) {
+	// Subthreshold leakage per device grows as technology scales down
+	// (lower Vth), the trend that motivates the whole paper.
+	var prev float64
+	for _, n := range []tech.Node{tech.Node180, tech.Node130, tech.Node100, tech.Node70} {
+		p := tech.MustByNode(n)
+		i := UnitSubthresholdNominal(p, p.N, 1, p.VddNominal, 300)
+		if i <= prev {
+			t.Fatalf("leakage at %v (%v) not above previous node (%v)", n, i, prev)
+		}
+		prev = i
+	}
+}

@@ -1,0 +1,101 @@
+package leakage
+
+import (
+	"testing"
+)
+
+func TestVariationDisabled(t *testing.T) {
+	res := RunVariation(p70(), VariationConfig{}, 300, 0.9)
+	if res.SubN != 1 || res.SubP != 1 || res.Gate != 1 {
+		t.Fatalf("disabled variation not unity: %+v", res)
+	}
+}
+
+func TestVariationSkewsUp(t *testing.T) {
+	// Gaussian parameter spread under an exponential response yields a
+	// lognormal-like skew: the mean leakage exceeds the nominal leakage.
+	res := RunVariation(p70(), DefaultVariation70nm(), 300, 0.9)
+	if res.SubN <= 1 {
+		t.Errorf("SubN multiplier %v not above 1", res.SubN)
+	}
+	if res.SubP <= 1 {
+		t.Errorf("SubP multiplier %v not above 1", res.SubP)
+	}
+	if res.Gate <= 1 {
+		t.Errorf("Gate multiplier %v not above 1", res.Gate)
+	}
+	// ... but not absurdly (the 3-sigma clamps bound the tails).
+	if res.SubN > 3 || res.Gate > 5 {
+		t.Errorf("variation multipliers implausibly large: %+v", res)
+	}
+}
+
+func TestVariationDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultVariation70nm()
+	a := RunVariation(p70(), cfg, 300, 0.9)
+	b := RunVariation(p70(), cfg, 300, 0.9)
+	if a != b {
+		t.Fatalf("same seed produced different results: %+v vs %+v", a, b)
+	}
+	cfg.Seed++
+	c := RunVariation(p70(), cfg, 300, 0.9)
+	if a == c {
+		t.Fatal("different seed produced identical results")
+	}
+}
+
+func TestVariationPaperSigmas(t *testing.T) {
+	cfg := DefaultVariation70nm()
+	if cfg.ThreeSigmaL != 0.47 || cfg.ThreeSigmaTox != 0.16 ||
+		cfg.ThreeSigmaVdd != 0.10 || cfg.ThreeSigmaVth != 0.13 {
+		t.Fatalf("default 3-sigma values diverge from the paper: %+v", cfg)
+	}
+}
+
+func TestVariationAppliedToModel(t *testing.T) {
+	plain := New(p70())
+	varied := New(p70(), WithVariation(DefaultVariation70nm()))
+	env := Env{TempK: 383, Vdd: 0.9}
+	plain.SetEnv(env)
+	varied.SetEnv(env)
+	if varied.CellPower(SRAM6T, ModeActive) <= plain.CellPower(SRAM6T, ModeActive) {
+		t.Fatal("variation-enabled model does not leak more than nominal")
+	}
+}
+
+func TestVariationSampleCountStability(t *testing.T) {
+	cfg := DefaultVariation70nm()
+	cfg.Samples = 20000
+	big := RunVariation(p70(), cfg, 300, 0.9)
+	cfg.Samples = 10000
+	cfg.Seed ^= 0x55
+	small := RunVariation(p70(), cfg, 300, 0.9)
+	if d := big.SubN/small.SubN - 1; d > 0.2 || d < -0.2 {
+		t.Fatalf("Monte Carlo unstable across sample counts: %v vs %v", big.SubN, small.SubN)
+	}
+}
+
+func TestIntraDieVariationAddsSkew(t *testing.T) {
+	inter := DefaultVariation70nm()
+	both := inter
+	both.IncludeIntraDie = true
+	both.IntraSigmaVthFrac = 0.05
+	a := RunVariation(p70(), inter, 300, 0.9)
+	b := RunVariation(p70(), both, 300, 0.9)
+	if b.SubN <= a.SubN {
+		t.Fatalf("intra-die mismatch did not raise the mean multiplier: %v vs %v", b.SubN, a.SubN)
+	}
+}
+
+func TestRegFileLeaksMoreThanSRAMPerBit(t *testing.T) {
+	m := New(p70())
+	m.SetEnv(Env{TempK: CelsiusToKelvin(85), Vdd: 0.9})
+	rf := m.CellPower(RegFileCell, ModeActive)
+	sram := m.CellPower(SRAM6T, ModeActive)
+	if rf <= 1.5*sram {
+		t.Fatalf("ported regfile bit (%v) should leak well above an SRAM bit (%v)", rf, sram)
+	}
+	if p := RegFilePower(m, 80, 64, ModeActive); p <= 0 {
+		t.Fatalf("regfile power %v", p)
+	}
+}

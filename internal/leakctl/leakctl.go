@@ -1,0 +1,592 @@
+// Package leakctl implements the paper's generic abstraction for leakage
+// control "based on putting individual lines into standby mode" (Section
+// 2.3), and the concrete techniques compared in the paper: gated-Vss
+// (non-state-preserving) and drowsy cache (state-preserving), plus reverse
+// body bias (state-preserving) as the extension technique.
+//
+// The controlled L1 data cache lives here. Both techniques share identical
+// decay hardware (package decay, noaccess policy by default) and identical
+// threshold voltages, per the paper's fairness methodology. They differ in:
+//
+//   - residual standby leakage (computed by package leakage, not asserted),
+//   - what an access to a standby line costs: drowsy pays a short wake-up
+//     ("slow hit", >= 3 cycles with decayed tags); gated-Vss lost the data
+//     and pays a full L2 fetch ("induced miss"),
+//   - true-miss behaviour: drowsy must wake decayed tags before it can
+//     detect the miss; gated-Vss skips standby ways entirely and is as fast
+//     as an uncontrolled cache,
+//   - decay-time work: gated-Vss must write back dirty lines before
+//     discarding them.
+package leakctl
+
+import (
+	"fmt"
+
+	"hotleakage/internal/cache"
+	"hotleakage/internal/decay"
+	"hotleakage/internal/leakage"
+	"hotleakage/internal/power"
+	"hotleakage/internal/tech"
+)
+
+// Technique identifies a leakage-control technique.
+type Technique int
+
+// Techniques. TechNone is the uncontrolled baseline (same code path, no
+// decay), which keeps baseline-vs-technique comparisons apples-to-apples.
+const (
+	TechNone Technique = iota
+	TechDrowsy
+	TechGated
+	TechRBB
+)
+
+// String implements fmt.Stringer.
+func (t Technique) String() string {
+	switch t {
+	case TechNone:
+		return "none"
+	case TechDrowsy:
+		return "drowsy"
+	case TechGated:
+		return "gated-vss"
+	case TechRBB:
+		return "rbb"
+	}
+	return fmt.Sprintf("technique(%d)", int(t))
+}
+
+// StatePreserving reports whether standby lines keep their contents.
+func (t Technique) StatePreserving() bool { return t == TechDrowsy || t == TechRBB }
+
+// Mode maps the technique to its standby leakage mode.
+func (t Technique) Mode() leakage.Mode {
+	switch t {
+	case TechDrowsy:
+		return leakage.ModeDrowsy
+	case TechGated:
+		return leakage.ModeGated
+	case TechRBB:
+		return leakage.ModeRBB
+	}
+	return leakage.ModeActive
+}
+
+// Params configures a controlled cache.
+type Params struct {
+	Technique Technique
+	// Interval is the decay interval in cycles (0 disables decay).
+	Interval uint64
+	Policy   decay.Policy
+	// DecayTags: tags are put in standby along with the data (the
+	// paper's default for both techniques; "drowsy tags").
+	DecayTags bool
+	// SettleSleep / SettleWake are the mode-transition settling times in
+	// cycles (paper Table 1: drowsy 3/3, gated 30/3).
+	SettleSleep, SettleWake int
+	// WakeLatency is the pipeline-visible penalty for touching a standby
+	// line in a state-preserving cache. With decayed tags this is "at
+	// least three cycles"; without, 1-2.
+	WakeLatency int
+	// PerLineAdaptive selects the Kaxiras-style per-line adaptive decay
+	// (2-bit selectors choosing among exponentially spaced intervals,
+	// starting from Interval). Premature decays promote a line to a
+	// longer interval; decays never missed demote it.
+	PerLineAdaptive bool
+}
+
+// DefaultParams returns the paper's configuration for a technique at the
+// given decay interval.
+func DefaultParams(t Technique, interval uint64) Params {
+	p := Params{
+		Technique: t,
+		Interval:  interval,
+		Policy:    decay.PolicyNoAccess,
+		DecayTags: true,
+	}
+	switch t {
+	case TechDrowsy:
+		p.SettleSleep, p.SettleWake = 3, 3
+		p.WakeLatency = 3
+	case TechGated:
+		p.SettleSleep, p.SettleWake = 30, 3
+		p.WakeLatency = 0 // standby access is a miss; L2 covers it
+	case TechRBB:
+		// Body-bias settling is slower than a drowsy rail switch; we
+		// model 9-cycle transitions (our choice; the paper does not
+		// evaluate RBB directly, citing GIDL limits).
+		p.SettleSleep, p.SettleWake = 9, 9
+		p.WakeLatency = 9
+	case TechNone:
+		p.Interval = 0
+	}
+	if !p.DecayTags && t == TechDrowsy {
+		p.WakeLatency = 1
+	}
+	return p
+}
+
+// Stats accumulates the controlled cache's event counts.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64 // fast hits on active lines
+	SlowHits uint64 // state-preserving: hits on standby lines (wake first)
+	Misses   uint64 // all accesses that went to L2
+
+	InducedMisses uint64 // gated: data was live at decay; L2 fetch forced
+	TrueMisses    uint64 // data genuinely absent
+
+	TagWakeStalls uint64 // state-preserving: true misses delayed by tag wake
+
+	SleepTransitions uint64
+	WakeTransitions  uint64
+	DecayWritebacks  uint64 // gated: dirty line written back at decay time
+	EvictWritebacks  uint64
+	Fills            uint64
+}
+
+// HitRate returns (fast+slow hits)/accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.SlowHits) / float64(s.Accesses)
+}
+
+// Energy is the controlled cache's dynamic-energy breakdown in joules.
+// Extra L2 energy from induced misses and decay writebacks accumulates in
+// the next level's own meter.
+type Energy struct {
+	AccessJ     float64 // reads, writes, probes, fills
+	CounterJ    float64 // decay-counter activity (filled in by Finish)
+	TransitionJ float64 // sleep/wake rail switching, tag wakes
+	WritebackJ  float64 // decay-writeback line read-out
+}
+
+// Total returns the sum of all categories.
+func (e Energy) Total() float64 {
+	return e.AccessJ + e.CounterJ + e.TransitionJ + e.WritebackJ
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	standby bool
+	hadLive bool // gated: standby and contents were live when decayed
+	lastUse uint64
+}
+
+// DCache is the leakage-controlled L1 data cache.
+type DCache struct {
+	Cfg    cache.Config
+	P      Params
+	Next   cache.Level
+	Stats  Stats
+	Energy Energy
+
+	// Adapter, when non-nil, adjusts the decay interval at runtime
+	// (Section 5.4). AdaptChanges counts reprogrammings.
+	Adapter      Adapter
+	AdaptChanges uint64
+	nextAdapt    uint64
+
+	AccessE power.CacheEnergy
+	TechE   power.TechniqueEnergy
+	Machine *decay.Machine
+
+	lines     []line
+	assoc     int
+	setMask   uint64
+	lineShift uint
+	tagShift  uint
+	useStamp  uint64
+
+	curCycle        uint64
+	standbyCount    int
+	lastOccCycle    uint64
+	standbyIntegral uint64
+	settleDebt      uint64 // standby cycles forfeited to sleep settling
+	finished        bool
+	finalCycles     uint64
+	statsStart      uint64        // cycle at which measurement began
+	machineBase     decay.Machine // counter-stat snapshot at measurement start
+}
+
+// New builds a controlled L1 D-cache over next. Technique TechNone with
+// Interval 0 is the baseline.
+func New(p *tech.Params, cfg cache.Config, params Params, next cache.Level) *DCache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	nlines := sets * cfg.Assoc
+	machine := decay.New(nlines, params.Interval, params.Policy)
+	if params.PerLineAdaptive && params.Interval != 0 {
+		machine = decay.NewPerLine(nlines, params.Interval)
+	}
+	d := &DCache{
+		Cfg:     cfg,
+		P:       params,
+		Next:    next,
+		AccessE: power.NewCacheEnergy(p, cfg.Geometry()),
+		TechE:   power.NewTechniqueEnergy(p, cfg.LineBytes, params.Technique == TechGated),
+		Machine: machine,
+		lines:   make([]line, nlines),
+		assoc:   cfg.Assoc,
+		setMask: uint64(sets - 1),
+	}
+	ls := 0
+	for 1<<ls < cfg.LineBytes {
+		ls++
+	}
+	ss := 0
+	for 1<<ss < sets {
+		ss++
+	}
+	d.lineShift = uint(ls)
+	d.tagShift = uint(ss)
+	return d
+}
+
+// Name implements cache.Level.
+func (d *DCache) Name() string { return d.Cfg.Name }
+
+// HitLat returns the hit latency in cycles (cpu.FetchCache).
+func (d *DCache) HitLat() int { return d.Cfg.HitLatency }
+
+// Lines returns the number of cache lines under control.
+func (d *DCache) Lines() int { return len(d.lines) }
+
+// index splits a byte address into set and tag.
+func (d *DCache) index(addr uint64) (set, tag uint64) {
+	la := addr >> d.lineShift
+	return la & d.setMask, la >> d.tagShift
+}
+
+// occSync folds elapsed standby line-cycles into the integral.
+func (d *DCache) occSync(cycle uint64) {
+	if cycle > d.lastOccCycle {
+		d.standbyIntegral += uint64(d.standbyCount) * (cycle - d.lastOccCycle)
+		d.lastOccCycle = cycle
+	}
+}
+
+// expire is the decay callback: move line i to standby.
+func (d *DCache) expire(i int) {
+	l := &d.lines[i]
+	if !l.valid || l.standby {
+		return
+	}
+	d.occSync(d.curCycle)
+	d.Stats.SleepTransitions++
+	d.Energy.TransitionJ += d.TechE.SleepTransition
+	d.settleDebt += uint64(d.P.SettleSleep)
+
+	if d.P.Technique == TechGated {
+		if l.dirty {
+			// The discarded line's contents must survive: write
+			// back before disconnecting (cache-decay behaviour).
+			d.Stats.DecayWritebacks++
+			d.Energy.WritebackJ += d.AccessE.LineRead
+			d.writebackToNext(i)
+			l.dirty = false
+		}
+		l.hadLive = true
+	}
+	l.standby = true
+	d.standbyCount++
+}
+
+// writebackToNext pushes line i's contents to the next level.
+func (d *DCache) writebackToNext(i int) {
+	set := uint64(i / d.assoc)
+	l := &d.lines[i]
+	addr := ((l.tag << d.tagShift) | set) << d.lineShift
+	if d.Next != nil {
+		d.Next.Access(addr, true, d.curCycle)
+	}
+}
+
+// wake returns line i to the active state.
+func (d *DCache) wake(i int) {
+	l := &d.lines[i]
+	if !l.standby {
+		return
+	}
+	d.occSync(d.curCycle)
+	l.standby = false
+	l.hadLive = false
+	d.standbyCount--
+	d.Stats.WakeTransitions++
+	d.Energy.TransitionJ += d.TechE.WakeTransition
+	d.Machine.Touch(i)
+}
+
+// Tick advances the decay machinery to cycle. The CPU calls it once per
+// simulated cycle; it is O(1) between global-counter rollovers.
+func (d *DCache) Tick(cycle uint64) {
+	d.curCycle = cycle
+	d.Machine.Advance(cycle, d.expire)
+	if d.Adapter != nil {
+		d.adaptTick(cycle)
+	}
+}
+
+// Access implements cache.Level with the technique-specific standby
+// semantics described in the package comment.
+func (d *DCache) Access(addr uint64, write bool, cycle uint64) int {
+	d.curCycle = cycle
+	d.Machine.Advance(cycle, d.expire)
+	d.Stats.Accesses++
+	d.useStamp++
+	set, tag := d.index(addr)
+	base := int(set) * d.assoc
+
+	hitWay := -1
+	standbyMatch := -1
+	anyStandby := false
+	for w := 0; w < d.assoc; w++ {
+		l := &d.lines[base+w]
+		if !l.valid {
+			continue
+		}
+		if l.standby {
+			anyStandby = true
+			if l.tag == tag {
+				standbyMatch = base + w
+			}
+			continue
+		}
+		if l.tag == tag {
+			hitWay = base + w
+		}
+	}
+
+	preserving := d.P.Technique.StatePreserving() || d.P.Technique == TechNone
+
+	// Fast hit on an active line: identical for every technique.
+	if hitWay >= 0 {
+		return d.finishHit(hitWay, write, false)
+	}
+
+	// Standby line holds the data and the technique preserves state:
+	// "slow hit" — wake it, pay the wake latency, no L2 access. The
+	// first probe found the line asleep; after wake-up the tags and
+	// data are probed again, so a slow hit costs one extra array access
+	// on top of the wake transition.
+	if preserving && standbyMatch >= 0 {
+		d.Stats.SlowHits++
+		d.Energy.AccessJ += d.AccessE.ReadHit
+		// Per-line adaptive: this decay was premature.
+		d.Machine.Promote(standbyMatch)
+		d.wake(standbyMatch)
+		return d.finishHit(standbyMatch, write, true)
+	}
+
+	// Miss path.
+	d.Stats.Misses++
+	extra := 0
+	if preserving && d.P.DecayTags && anyStandby {
+		// Drowsy/RBB must wake the standby ways' tags before the
+		// miss can be confirmed ("gated-Vss is actually faster" on
+		// these true misses).
+		extra = d.P.WakeLatency
+		d.Stats.TagWakeStalls++
+		d.Energy.AccessJ += d.AccessE.TagProbe
+		d.Energy.TransitionJ += tagFraction * d.TechE.WakeTransition
+	}
+	if d.P.Technique == TechGated && standbyMatch >= 0 && d.lines[standbyMatch].hadLive {
+		// The data was live when the line was disconnected: this L2
+		// access exists only because of the leakage control.
+		d.Stats.InducedMisses++
+		d.Machine.Promote(standbyMatch)
+	} else {
+		d.Stats.TrueMisses++
+	}
+	d.Energy.AccessJ += d.AccessE.TagProbe
+
+	lat := d.Cfg.HitLatency + extra
+	if d.Next != nil {
+		lat += d.Next.Access(addr, false, cycle)
+	}
+	d.fill(set, tag, standbyMatch, write)
+	return lat
+}
+
+// tagFraction approximates the share of a line's cells that belong to its
+// tag (the paper: "tags account for 5-10% of the leakage energy").
+const tagFraction = 0.07
+
+// finishHit applies LRU/dirty/energy bookkeeping for a hit on way index i
+// and returns its latency.
+func (d *DCache) finishHit(i int, write, slow bool) int {
+	l := &d.lines[i]
+	l.lastUse = d.useStamp
+	d.Machine.Touch(i)
+	if write {
+		l.dirty = true
+		d.Energy.AccessJ += d.AccessE.WriteHit
+	} else {
+		d.Energy.AccessJ += d.AccessE.ReadHit
+	}
+	d.Stats.Hits += b2u(!slow)
+	lat := d.Cfg.HitLatency
+	if slow {
+		lat += d.P.WakeLatency
+	}
+	return lat
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fill installs (set, tag) after a miss. standbyMatch, if >= 0, is a
+// standby way already holding this tag (gated induced/true miss target):
+// it is refilled in place.
+func (d *DCache) fill(set, tag uint64, standbyMatch int, write bool) {
+	base := int(set) * d.assoc
+	victim := -1
+	if standbyMatch >= 0 {
+		victim = standbyMatch
+	} else {
+		// Invalid way first.
+		for w := 0; w < d.assoc; w++ {
+			if !d.lines[base+w].valid {
+				victim = base + w
+				break
+			}
+		}
+		// Then LRU among standby ways (gated: their data is already
+		// dead; drowsy: prefer evicting sleepers, they are the
+		// stalest by construction).
+		if victim < 0 {
+			for w := 0; w < d.assoc; w++ {
+				l := &d.lines[base+w]
+				if l.standby && (victim < 0 || l.lastUse < d.lines[victim].lastUse) {
+					victim = base + w
+				}
+			}
+		}
+		// Finally LRU among active ways.
+		if victim < 0 {
+			victim = base
+			for w := 1; w < d.assoc; w++ {
+				if d.lines[base+w].lastUse < d.lines[victim].lastUse {
+					victim = base + w
+				}
+			}
+		}
+	}
+
+	l := &d.lines[victim]
+	if l.valid && l.dirty {
+		// A drowsy dirty victim must be woken to read its contents
+		// out (energy only; off the critical path).
+		if l.standby {
+			d.Energy.TransitionJ += d.TechE.WakeTransition
+		}
+		d.Stats.EvictWritebacks++
+		d.Energy.WritebackJ += d.AccessE.LineRead
+		d.writebackToNext(victim)
+	}
+	if l.standby {
+		d.occSync(d.curCycle)
+		d.standbyCount--
+		if victim != standbyMatch {
+			// The decayed line is dying without ever having been
+			// missed: its decay was correct — per-line adaptive
+			// moves it toward a shorter interval.
+			d.Machine.Demote(victim)
+		}
+	}
+	*l = line{tag: tag, valid: true, dirty: write, lastUse: d.useStamp}
+	d.Machine.Touch(victim)
+	d.Stats.Fills++
+	d.Energy.AccessJ += d.AccessE.LineFill
+}
+
+// ResetStats zeroes counts, energy meters and occupancy accounting at the
+// end of a warmup phase, keeping cache and decay state intact. cycle is the
+// current simulation cycle.
+func (d *DCache) ResetStats(cycle uint64) {
+	d.curCycle = cycle
+	d.occSync(cycle)
+	d.Stats = Stats{}
+	d.Energy = Energy{}
+	d.standbyIntegral = 0
+	d.settleDebt = 0
+	d.statsStart = cycle
+	d.machineBase = *d.Machine
+}
+
+// Finish closes the occupancy accounting at the end-of-run cycle and fills
+// in the counter energy. It must be called exactly once, after the last
+// access.
+func (d *DCache) Finish(cycle uint64) {
+	if d.finished {
+		return
+	}
+	d.finished = true
+	d.finalCycles = cycle
+	d.curCycle = cycle
+	d.occSync(cycle)
+	if d.P.Interval != 0 {
+		bumps := d.Machine.LocalBumps - d.machineBase.LocalBumps
+		resets := d.Machine.LocalResets - d.machineBase.LocalResets
+		d.Energy.CounterJ = float64(cycle-d.statsStart)*d.TechE.GlobalTick +
+			float64(bumps)*d.TechE.LocalBump +
+			float64(resets)*d.TechE.LocalReset
+	}
+}
+
+// StandbyLineCycles returns the effective line-cycles spent in standby
+// during the measurement phase, net of the settling debt (a line entering
+// standby leaks at the active rate for SettleSleep cycles before the rail
+// actually drops — 30 cycles for gated-Vss, which is what makes it "more
+// sensitive to the smaller decay interval").
+func (d *DCache) StandbyLineCycles() uint64 {
+	if d.settleDebt >= d.standbyIntegral {
+		return 0
+	}
+	return d.standbyIntegral - d.settleDebt
+}
+
+// MeasuredCycles returns the number of cycles in the measurement phase
+// (after Finish).
+func (d *DCache) MeasuredCycles() uint64 { return d.finalCycles - d.statsStart }
+
+// TurnoffRatio returns the average fraction of lines in standby over the
+// measurement phase (must be called after Finish).
+func (d *DCache) TurnoffRatio() float64 {
+	mc := d.MeasuredCycles()
+	if mc == 0 {
+		return 0
+	}
+	return float64(d.StandbyLineCycles()) / (float64(len(d.lines)) * float64(mc))
+}
+
+// StandbyNow returns the number of lines currently in standby (tests).
+func (d *DCache) StandbyNow() int { return d.standbyCount }
+
+// Contains reports whether addr's line is present with live contents (for
+// tests; does not touch LRU, counters or stats).
+func (d *DCache) Contains(addr uint64) bool {
+	set, tag := d.index(addr)
+	base := int(set) * d.assoc
+	for w := 0; w < d.assoc; w++ {
+		l := &d.lines[base+w]
+		if !l.valid || l.tag != tag {
+			continue
+		}
+		if l.standby && d.P.Technique == TechGated {
+			return false // contents destroyed
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+// Package power is the Wattch-style dynamic power substrate: analytic
+// per-event access energies for SRAM arrays (decoder, wordline, bitline,
+// sense-amp terms in the CACTI tradition), plus the event energies specific
+// to the leakage-control techniques (decay-counter activity, mode
+// transitions, line wake-ups, writebacks).
+//
+// Only relative energies matter for the paper's net-savings metric: the
+// extra dynamic energy a technique induces is subtracted from its gross
+// leakage savings. The constants below are scaled per technology node from
+// the feature size.
+package power
+
+import (
+	"math"
+
+	"hotleakage/internal/tech"
+)
+
+// CacheGeometry describes an SRAM cache organization for the energy model.
+type CacheGeometry struct {
+	Sets      int
+	Assoc     int
+	LineBytes int
+	TagBits   int
+	Banks     int // physical banks; rows per bank = Sets/Banks
+}
+
+// Rows returns the number of wordlines per bank.
+func (g CacheGeometry) Rows() int {
+	b := g.Banks
+	if b < 1 {
+		b = 1
+	}
+	r := g.Sets / b
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// LineBits returns the number of data bits in one line.
+func (g CacheGeometry) LineBits() int { return g.LineBytes * 8 }
+
+// CacheEnergy holds the per-event dynamic energies (joules) for one cache.
+type CacheEnergy struct {
+	// ReadHit is a full read access that hits: decode + tag probe of all
+	// ways + data read of the selected way.
+	ReadHit float64
+	// WriteHit is a write access that hits (full-swing data write).
+	WriteHit float64
+	// TagProbe is a tag-array-only probe of all ways (used when a miss
+	// is detected without reading data, and for the drowsy tag-wake
+	// re-check).
+	TagProbe float64
+	// LineFill is writing a full line plus its tag into the array.
+	LineFill float64
+	// LineRead is reading a full line out of the array (victim
+	// writeback read-out).
+	LineRead float64
+	// PerCycleClock is the background clock/precharge dynamic power of
+	// the cache's periphery, charged per cycle of runtime; this is what
+	// makes extra execution time cost energy (the paper's cost item #4).
+	PerCycleClock float64
+}
+
+// Tunable per-node circuit constants, expressed at 70 nm and scaled by
+// (feature/70)^2 for capacitance-like quantities.
+const (
+	cBitlinePerCell70  = 1.6e-15 // F per cell on a bitline
+	cWordlinePerCell70 = 1.1e-15
+	eSenseAmpPerBit70  = 2.0e-14 // J per sensed bit
+	eDecodePerRowLog70 = 3.0e-14 // J per log2(rows) of decode
+	bitlineReadSwing   = 0.18    // fraction of Vdd swung on a read
+)
+
+// featScale returns the capacitance/energy scale factor for the node
+// relative to 70 nm.
+func featScale(p *tech.Params) float64 {
+	f := float64(p.Node) / 70.0
+	return f * f
+}
+
+// NewCacheEnergy derives the per-event energies for a cache geometry at a
+// node's nominal supply.
+func NewCacheEnergy(p *tech.Params, g CacheGeometry) CacheEnergy {
+	s := featScale(p)
+	vdd := p.VddNominal
+	rows := float64(g.Rows())
+	lineBits := float64(g.LineBits())
+	tagBits := float64(g.TagBits)
+	assoc := float64(g.Assoc)
+
+	cBL := cBitlinePerCell70 * s * rows // one bitline's capacitance
+	eBLRead := cBL * vdd * (bitlineReadSwing * vdd)
+	eBLWrite := cBL * vdd * vdd
+	eWL := cWordlinePerCell70 * s * vdd * vdd // per cell on the wordline
+	eSense := eSenseAmpPerBit70 * s
+	eDecode := eDecodePerRowLog70 * s * math.Log2(rows+1)
+
+	// Tag probe: decode + all ways' tag bitlines + sense.
+	tagCols := tagBits * assoc
+	eTag := eDecode + tagCols*(eBLRead+eSense) + tagCols*eWL
+
+	// Data read of one way's line (reads are line-wide to keep the model
+	// simple; L1 word selection happens after sensing).
+	dataCols := lineBits
+	eData := dataCols*(eBLRead+eSense) + dataCols*eWL
+
+	read := eTag + eData
+	write := eTag + dataCols*eBLWrite + dataCols*eWL
+	fill := eTag + dataCols*eBLWrite + tagBits*eBLWrite
+	lineRead := eDecode + dataCols*(eBLRead+eSense)
+
+	// Periphery clock/precharge: a small fraction of a read per cycle.
+	clock := 0.02 * read
+
+	return CacheEnergy{
+		ReadHit:       read,
+		WriteHit:      write,
+		TagProbe:      eTag,
+		LineFill:      fill,
+		LineRead:      lineRead,
+		PerCycleClock: clock,
+	}
+}
+
+// TechniqueEnergy holds the per-event energies of the leakage-control
+// hardware itself (the paper's cost items #1 and #3).
+type TechniqueEnergy struct {
+	// GlobalTick is one increment of the shared global decay counter.
+	GlobalTick float64
+	// LocalBump is one increment of a single line's 2-bit counter (all
+	// lines bump when the global counter rolls over).
+	LocalBump float64
+	// LocalReset is the reset of a line's 2-bit counter on access.
+	LocalReset float64
+	// SleepTransition is putting one line into standby (drowsy: switch
+	// the Vdd mux; gated: drain the internal rail through the footer).
+	SleepTransition float64
+	// WakeTransition is returning one line to the active state.
+	WakeTransition float64
+}
+
+// NewTechniqueEnergy derives technique-hardware event energies for a line of
+// lineBytes at the node. Both techniques use the same counter hardware (the
+// paper's fairness choice); the transition energies differ because gated-Vss
+// fully discharges the cells' internal rail (set stateDestroying) while
+// drowsy only moves it between two supplies.
+func NewTechniqueEnergy(p *tech.Params, lineBytes int, stateDestroying bool) TechniqueEnergy {
+	s := featScale(p)
+	vdd := p.VddNominal
+	cells := float64(lineBytes * 8)
+	// Per-cell supply-rail capacitance switched on a mode transition.
+	cRail := 1.2e-15 * s * cells
+
+	swing := vdd - p.DrowsyVdd()
+	if stateDestroying {
+		swing = vdd
+	}
+
+	return TechniqueEnergy{
+		GlobalTick:      8.0e-15 * s,
+		LocalBump:       4.0e-15 * s,
+		LocalReset:      2.0e-15 * s,
+		SleepTransition: 0.5 * cRail * swing * swing,
+		WakeTransition:  0.5 * cRail * swing * swing,
+	}
+}
+
+// MemoryAccessEnergy is the per-access energy of an off-chip (or far
+// on-chip) DRAM access including bus transfer, at 70 nm scale.
+func MemoryAccessEnergy(p *tech.Params) float64 {
+	return 1.5e-8 * featScale(p)
+}

@@ -1,0 +1,118 @@
+package power
+
+import (
+	"testing"
+
+	"hotleakage/internal/tech"
+)
+
+func geom(sizeKB, assoc, line, banks int) CacheGeometry {
+	sets := sizeKB * 1024 / (line * assoc)
+	return CacheGeometry{Sets: sets, Assoc: assoc, LineBytes: line, TagBits: 25, Banks: banks}
+}
+
+func TestBiggerCacheCostsMore(t *testing.T) {
+	p := tech.MustByNode(tech.Node70)
+	small := NewCacheEnergy(p, geom(64, 2, 64, 1))
+	big := NewCacheEnergy(p, geom(2048, 2, 64, 1))
+	if big.ReadHit <= small.ReadHit {
+		t.Fatalf("2MB read %v <= 64KB read %v", big.ReadHit, small.ReadHit)
+	}
+}
+
+func TestBankingReducesAccessEnergy(t *testing.T) {
+	p := tech.MustByNode(tech.Node70)
+	mono := NewCacheEnergy(p, geom(2048, 2, 64, 1))
+	banked := NewCacheEnergy(p, geom(2048, 2, 64, 8))
+	if banked.ReadHit >= mono.ReadHit {
+		t.Fatalf("banked read %v >= monolithic %v", banked.ReadHit, mono.ReadHit)
+	}
+}
+
+func TestTagProbeCheaperThanRead(t *testing.T) {
+	p := tech.MustByNode(tech.Node70)
+	e := NewCacheEnergy(p, geom(64, 2, 64, 1))
+	if e.TagProbe >= e.ReadHit {
+		t.Fatalf("tag probe %v >= full read %v", e.TagProbe, e.ReadHit)
+	}
+	if e.PerCycleClock >= e.ReadHit {
+		t.Fatalf("per-cycle clock %v >= read %v", e.PerCycleClock, e.ReadHit)
+	}
+}
+
+func TestEnergiesPositive(t *testing.T) {
+	p := tech.MustByNode(tech.Node70)
+	e := NewCacheEnergy(p, geom(64, 2, 64, 1))
+	for name, v := range map[string]float64{
+		"ReadHit": e.ReadHit, "WriteHit": e.WriteHit, "TagProbe": e.TagProbe,
+		"LineFill": e.LineFill, "LineRead": e.LineRead, "PerCycleClock": e.PerCycleClock,
+	} {
+		if v <= 0 {
+			t.Errorf("%s = %v", name, v)
+		}
+	}
+}
+
+func TestL1EnergyBand(t *testing.T) {
+	// A 64KB L1 read at 70 nm should be in the 0.02-0.5 nJ band; the L2
+	// should cost several times more.
+	p := tech.MustByNode(tech.Node70)
+	l1 := NewCacheEnergy(p, geom(64, 2, 64, 1))
+	l2 := NewCacheEnergy(p, geom(2048, 2, 64, 8))
+	if l1.ReadHit < 0.02e-9 || l1.ReadHit > 0.5e-9 {
+		t.Errorf("L1 read = %v J, outside band", l1.ReadHit)
+	}
+	if l2.ReadHit < 2*l1.ReadHit {
+		t.Errorf("L2 read %v not clearly above L1 read %v", l2.ReadHit, l1.ReadHit)
+	}
+	mem := MemoryAccessEnergy(p)
+	if mem < 5*l2.ReadHit {
+		t.Errorf("memory access %v not clearly above L2 %v", mem, l2.ReadHit)
+	}
+}
+
+func TestGatedTransitionCostsMoreThanDrowsy(t *testing.T) {
+	// Gated-Vss discharges the full internal rail; drowsy only moves it
+	// between two supplies.
+	p := tech.MustByNode(tech.Node70)
+	dr := NewTechniqueEnergy(p, 64, false)
+	gt := NewTechniqueEnergy(p, 64, true)
+	if gt.SleepTransition <= dr.SleepTransition {
+		t.Fatalf("gated transition %v <= drowsy %v", gt.SleepTransition, dr.SleepTransition)
+	}
+	if dr.GlobalTick != gt.GlobalTick || dr.LocalBump != gt.LocalBump {
+		t.Fatal("counter hardware energies must be identical across techniques (fairness)")
+	}
+}
+
+func TestCounterEnergiesTiny(t *testing.T) {
+	// Decay counters must be orders of magnitude below an access.
+	p := tech.MustByNode(tech.Node70)
+	te := NewTechniqueEnergy(p, 64, false)
+	ce := NewCacheEnergy(p, geom(64, 2, 64, 1))
+	if te.LocalBump > ce.ReadHit/100 {
+		t.Fatalf("counter bump %v not tiny vs read %v", te.LocalBump, ce.ReadHit)
+	}
+}
+
+func TestNodeScaling(t *testing.T) {
+	// The same geometry costs more energy at an older node.
+	old := NewCacheEnergy(tech.MustByNode(tech.Node180), geom(64, 2, 64, 1))
+	now := NewCacheEnergy(tech.MustByNode(tech.Node70), geom(64, 2, 64, 1))
+	if old.ReadHit <= now.ReadHit {
+		t.Fatalf("180nm read %v <= 70nm read %v", old.ReadHit, now.ReadHit)
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	g := geom(64, 2, 64, 4)
+	if g.Rows() != 128 {
+		t.Errorf("Rows = %d, want 128", g.Rows())
+	}
+	if g.LineBits() != 512 {
+		t.Errorf("LineBits = %d", g.LineBits())
+	}
+	if (CacheGeometry{Sets: 8}).Rows() != 8 {
+		t.Error("Banks=0 should default to 1")
+	}
+}

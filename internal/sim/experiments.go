@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hotleakage/internal/leakage"
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/stats"
+	"hotleakage/internal/workload"
+)
+
+// DefaultInterval is the fixed decay interval used for the non-adaptive
+// figures. The paper chose "shorter decay intervals that — for our leakage
+// model — we found to give better energy savings"; 4K cycles plays that
+// role here.
+const DefaultInterval = 4096
+
+// SweepIntervals are the candidate decay intervals of the adaptivity study
+// (Figures 12-13 and Table 3).
+var SweepIntervals = []uint64{1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// Experiments runs and caches every simulation the paper's figures need.
+// Timing runs are cached by (benchmark, L2 latency, technique, interval),
+// so the 85C and 110C variants of a figure reuse one run, and Table 3
+// shares the sweep with Figures 12-13.
+type Experiments struct {
+	// Instructions / Warmup configure run length (committed instructions).
+	Instructions uint64
+	Warmup       uint64
+	// Profiles are the benchmarks, in presentation order.
+	Profiles []workload.Profile
+	// Variation optionally enables the inter-die Monte Carlo.
+	Variation leakage.VariationConfig
+	// Parallel enables concurrent simulation across runs.
+	Parallel bool
+
+	mu     sync.Mutex
+	suites map[int]*Suite // per L2 latency
+	runs   map[string]RunResult
+}
+
+// NewExperiments returns the paper's experiment set at reduced scale
+// (defaults: 1M measured instructions after a 300K warmup; the paper used
+// 500M after 2B on full SPEC).
+func NewExperiments() *Experiments {
+	return &Experiments{
+		Instructions: 1_000_000,
+		Warmup:       300_000,
+		Profiles:     workload.Profiles(),
+		Parallel:     true,
+		suites:       make(map[int]*Suite),
+		runs:         make(map[string]RunResult),
+	}
+}
+
+func (e *Experiments) suite(l2 int) *Suite {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.suites[l2]
+	if !ok {
+		mc := DefaultMachine(l2)
+		mc.Instructions = e.Instructions
+		mc.Warmup = e.Warmup
+		s = NewSuite(mc)
+		e.suites[l2] = s
+	}
+	return s
+}
+
+func runKey(bench string, l2 int, t leakctl.Technique, interval uint64) string {
+	return fmt.Sprintf("%s/%d/%d/%d", bench, l2, t, interval)
+}
+
+// run returns the (cached) timing run for one configuration.
+func (e *Experiments) run(prof workload.Profile, l2 int, t leakctl.Technique, interval uint64) RunResult {
+	key := runKey(prof.Name, l2, t, interval)
+	e.mu.Lock()
+	if r, ok := e.runs[key]; ok {
+		e.mu.Unlock()
+		return r
+	}
+	e.mu.Unlock()
+
+	s := e.suite(l2)
+	var r RunResult
+	if t == leakctl.TechNone {
+		r = s.Baseline(prof)
+	} else {
+		r = RunOne(s.MC, prof, leakctl.DefaultParams(t, interval), nil)
+	}
+	e.mu.Lock()
+	e.runs[key] = r
+	e.mu.Unlock()
+	return r
+}
+
+// prefetch simulates a set of configurations concurrently so later cached
+// lookups are cheap. Baselines are simulated first (they are shared).
+func (e *Experiments) prefetch(l2 int, techs []leakctl.Technique, intervals []uint64) {
+	var wg sync.WaitGroup
+	par := 1
+	if e.Parallel {
+		par = 8
+	}
+	sem := make(chan struct{}, par)
+	for _, prof := range e.Profiles {
+		prof := prof
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			e.run(prof, l2, leakctl.TechNone, 0)
+		}()
+	}
+	wg.Wait()
+	for _, prof := range e.Profiles {
+		for _, t := range techs {
+			for _, iv := range intervals {
+				prof, t, iv := prof, t, iv
+				wg.Add(1)
+				sem <- struct{}{}
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					e.run(prof, l2, t, iv)
+				}()
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// model builds a fresh leakage model (with the configured variation).
+func (e *Experiments) model(l2 int) *leakage.Model {
+	return leakage.New(e.suite(l2).MC.Tech, leakage.WithVariation(e.Variation))
+}
+
+// Cell is one (benchmark, technique) result in a figure.
+type Cell struct {
+	Bench string
+	Point Point
+}
+
+// Figure is one reproduced figure: per-benchmark series for drowsy and
+// gated-Vss plus their averages, for one metric.
+type Figure struct {
+	ID     string
+	Title  string
+	Metric string // "net savings %" or "perf loss %"
+	Bench  []string
+	Drowsy []float64
+	Gated  []float64
+}
+
+// Avg returns the arithmetic means of the two series.
+func (f Figure) Avg() (drowsy, gated float64) {
+	return stats.Mean(f.Drowsy), stats.Mean(f.Gated)
+}
+
+// CSV renders the figure as RFC-4180-ish comma-separated rows
+// (benchmark,drowsy,gated) with a header, for plotting tools.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark,drowsy,gated-vss\n")
+	for i, n := range f.Bench {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f\n", n, f.Drowsy[i], f.Gated[i])
+	}
+	ad, ag := f.Avg()
+	fmt.Fprintf(&b, "AVG,%.4f,%.4f\n", ad, ag)
+	return b.String()
+}
+
+// String renders the figure as an aligned text table, the harness's
+// equivalent of the paper's bar charts.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s [%s]\n", f.ID, f.Title, f.Metric)
+	fmt.Fprintf(&b, "%-8s %10s %10s\n", "bench", "drowsy", "gated-vss")
+	for i, n := range f.Bench {
+		fmt.Fprintf(&b, "%-8s %10.2f %10.2f\n", n, f.Drowsy[i], f.Gated[i])
+	}
+	ad, ag := f.Avg()
+	fmt.Fprintf(&b, "%-8s %10.2f %10.2f\n", "AVG", ad, ag)
+	return b.String()
+}
+
+// LatencyFigure reproduces one (net savings, perf loss) figure pair at the
+// given L2 latency, temperature and fixed decay interval.
+func (e *Experiments) LatencyFigure(idSav, idPerf string, l2 int, tempC float64, interval uint64) (sav, perf Figure) {
+	e.prefetch(l2, []leakctl.Technique{leakctl.TechDrowsy, leakctl.TechGated}, []uint64{interval})
+	m := e.model(l2)
+	s := e.suite(l2)
+
+	title := fmt.Sprintf("L2 latency %d cycles, %.0fC, interval %d", l2, tempC, interval)
+	sav = Figure{ID: idSav, Title: title, Metric: "net leakage savings %"}
+	perf = Figure{ID: idPerf, Title: title, Metric: "performance loss %"}
+	for _, prof := range e.Profiles {
+		dr := e.run(prof, l2, leakctl.TechDrowsy, interval)
+		gt := e.run(prof, l2, leakctl.TechGated, interval)
+		dp := s.EvaluateRun(prof, dr, tempC, m)
+		gp := s.EvaluateRun(prof, gt, tempC, m)
+		sav.Bench = append(sav.Bench, prof.Name)
+		sav.Drowsy = append(sav.Drowsy, dp.Cmp.NetSavingsPct)
+		sav.Gated = append(sav.Gated, gp.Cmp.NetSavingsPct)
+		perf.Bench = append(perf.Bench, prof.Name)
+		perf.Drowsy = append(perf.Drowsy, dp.Cmp.PerfLossPct)
+		perf.Gated = append(perf.Gated, gp.Cmp.PerfLossPct)
+	}
+	return sav, perf
+}
+
+// Figure3_4 is the 5-cycle L2 pair at 110C.
+func (e *Experiments) Figure3_4() (Figure, Figure) {
+	return e.LatencyFigure("Figure 3", "Figure 4", 5, 110, DefaultInterval)
+}
+
+// Figure5_6 is the 8-cycle L2 pair at 110C.
+func (e *Experiments) Figure5_6() (Figure, Figure) {
+	return e.LatencyFigure("Figure 5", "Figure 6", 8, 110, DefaultInterval)
+}
+
+// Figure7 is net savings at 85C with an 11-cycle L2 (the timing runs are
+// shared with Figure 8).
+func (e *Experiments) Figure7() Figure {
+	sav, _ := e.LatencyFigure("Figure 7", "-", 11, 85, DefaultInterval)
+	return sav
+}
+
+// Figure8_9 is the 11-cycle L2 pair at 110C.
+func (e *Experiments) Figure8_9() (Figure, Figure) {
+	return e.LatencyFigure("Figure 8", "Figure 9", 11, 110, DefaultInterval)
+}
+
+// Figure10_11 is the 17-cycle L2 pair at 110C.
+func (e *Experiments) Figure10_11() (Figure, Figure) {
+	return e.LatencyFigure("Figure 10", "Figure 11", 17, 110, DefaultInterval)
+}
+
+// BestIntervalResult is one benchmark's best-decay-interval outcome for one
+// technique (Figures 12-13, Table 3).
+type BestIntervalResult struct {
+	Bench    string
+	Interval uint64
+	Point    Point
+}
+
+// SweepBest finds, per benchmark and technique, the decay interval in
+// SweepIntervals with the highest net savings at the given operating point.
+// This is the oracle the paper uses for its adaptivity headroom study.
+func (e *Experiments) SweepBest(l2 int, tempC float64) (drowsy, gated []BestIntervalResult) {
+	techs := []leakctl.Technique{leakctl.TechDrowsy, leakctl.TechGated}
+	e.prefetch(l2, techs, SweepIntervals)
+	m := e.model(l2)
+	s := e.suite(l2)
+	for _, prof := range e.Profiles {
+		for _, t := range techs {
+			best := BestIntervalResult{Bench: prof.Name}
+			first := true
+			for _, iv := range SweepIntervals {
+				r := e.run(prof, l2, t, iv)
+				p := s.EvaluateRun(prof, r, tempC, m)
+				if first || p.Cmp.NetSavingsPct > best.Point.Cmp.NetSavingsPct {
+					best.Interval = iv
+					best.Point = p
+					first = false
+				}
+			}
+			if t == leakctl.TechDrowsy {
+				drowsy = append(drowsy, best)
+			} else {
+				gated = append(gated, best)
+			}
+		}
+	}
+	return drowsy, gated
+}
+
+// Figure12_13 reproduces the best-per-benchmark-interval pair: net savings
+// at 85C (Figure 12) and performance loss (Figure 13), both with an
+// 11-cycle L2.
+func (e *Experiments) Figure12_13() (Figure, Figure) {
+	dr, gt := e.SweepBest(11, 85)
+	sav := Figure{ID: "Figure 12", Title: "best per-benchmark decay interval, 85C, L2=11", Metric: "net leakage savings %"}
+	perf := Figure{ID: "Figure 13", Title: "best per-benchmark decay interval, L2=11", Metric: "performance loss %"}
+	for i := range dr {
+		sav.Bench = append(sav.Bench, dr[i].Bench)
+		sav.Drowsy = append(sav.Drowsy, dr[i].Point.Cmp.NetSavingsPct)
+		sav.Gated = append(sav.Gated, gt[i].Point.Cmp.NetSavingsPct)
+		perf.Bench = append(perf.Bench, dr[i].Bench)
+		perf.Drowsy = append(perf.Drowsy, dr[i].Point.Cmp.PerfLossPct)
+		perf.Gated = append(perf.Gated, gt[i].Point.Cmp.PerfLossPct)
+	}
+	return sav, perf
+}
+
+// Table3 returns the best decay intervals per benchmark (paper Table 3),
+// from the same sweep as Figures 12-13.
+func (e *Experiments) Table3() string {
+	dr, gt := e.SweepBest(11, 85)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3 — best decay intervals (cycles)\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s\n", "bench", "drowsy", "gated-vss")
+	for i := range dr {
+		fmt.Fprintf(&b, "%-8s %9dk %9dk\n", dr[i].Bench, dr[i].Interval/1024, gt[i].Interval/1024)
+	}
+	return b.String()
+}
+
+// IntervalCurve returns net savings and perf loss per interval for one
+// benchmark and technique (used by ablation benches and the adaptive
+// study).
+func (e *Experiments) IntervalCurve(bench string, t leakctl.Technique, l2 int, tempC float64) []Point {
+	prof, ok := workload.ByName(bench)
+	if !ok {
+		return nil
+	}
+	m := e.model(l2)
+	s := e.suite(l2)
+	var out []Point
+	for _, iv := range SweepIntervals {
+		r := e.run(prof, l2, t, iv)
+		out = append(out, s.EvaluateRun(prof, r, tempC, m))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Interval < out[j].Interval })
+	return out
+}

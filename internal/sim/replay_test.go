@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/trace"
+	"hotleakage/internal/workload"
+)
+
+func TestReplayedTraceMatchesLiveRun(t *testing.T) {
+	// Record exactly the instructions one run consumes, then replay the
+	// trace through a fresh machine: every statistic must match
+	// bit-for-bit — the trace abstraction is lossless.
+	mc := fastMachine(11)
+	prof, _ := workload.ByName("parser")
+	params := leakctl.DefaultParams(leakctl.TechGated, 4096)
+
+	live := RunOne(mc, prof, params, nil)
+
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, prof.Name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record generously: the core fetches more than it commits.
+	if err := trace.Record(workload.NewGenerator(prof), w, 2*(mc.Warmup+mc.Instructions)+100_000); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := RunOneFrom(mc, r.Name(), r, params, nil)
+
+	if live.CPU != replayed.CPU {
+		t.Fatalf("CPU stats diverged:\nlive   %+v\nreplay %+v", live.CPU, replayed.CPU)
+	}
+	if live.Measurement != replayed.Measurement {
+		t.Fatalf("measurements diverged")
+	}
+	if r.Laps != 0 {
+		t.Fatalf("trace wrapped (%d laps); recording was too short for a faithful replay", r.Laps)
+	}
+}

@@ -1,0 +1,264 @@
+// Package sim is the experiment harness: it assembles the Table 2 machine
+// (core, predictor, caches, memory) around a workload profile, runs timing
+// simulations, and evaluates the paper's metrics at arbitrary operating
+// points. Timing and dynamic energy are temperature-independent in this
+// model, so one timing run is reused across the temperature studies.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"hotleakage/internal/bpred"
+	"hotleakage/internal/cache"
+	"hotleakage/internal/cpu"
+	"hotleakage/internal/energy"
+	"hotleakage/internal/leakage"
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/tech"
+	"hotleakage/internal/workload"
+)
+
+// MachineConfig describes the simulated machine.
+type MachineConfig struct {
+	Tech       *tech.Params
+	CPU        cpu.Config
+	Bpred      bpred.Config
+	L1I        cache.Config
+	L1D        cache.Config
+	L2         cache.Config
+	MemLatency int
+	// IL1Control, when non-nil, applies leakage control to the L1
+	// instruction cache as well (extension study; the paper controls
+	// only the D-cache).
+	IL1Control *leakctl.Params
+	// Warmup is the number of committed instructions simulated before
+	// measurement begins (caches, predictor and decay state warm up;
+	// statistics then reset) — the scaled-down analogue of the paper's
+	// 2-billion-instruction skip.
+	Warmup uint64
+	// Instructions is the number of committed instructions measured.
+	Instructions uint64
+}
+
+// DefaultMachine returns the paper's Table 2 configuration at 70 nm with
+// the given L2 hit latency (the paper sweeps 5, 8, 11, 17). The technology
+// parameters are a private copy, so a caller may override fields (e.g.
+// ChipBackgroundW in the sensitivity ablation) without affecting other
+// machines.
+func DefaultMachine(l2Latency int) MachineConfig {
+	t := *tech.MustByNode(tech.Node70)
+	return MachineConfig{
+		Tech:  &t,
+		CPU:   cpu.DefaultConfig(),
+		Bpred: bpred.DefaultConfig(),
+		L1I: cache.Config{
+			Name: "il1", SizeBytes: 64 * 1024, LineBytes: 64,
+			Assoc: 2, HitLatency: 1,
+		},
+		L1D: cache.Config{
+			Name: "dl1", SizeBytes: 64 * 1024, LineBytes: 64,
+			Assoc: 2, HitLatency: 2,
+		},
+		L2: cache.Config{
+			Name: "ul2", SizeBytes: 2 * 1024 * 1024, LineBytes: 64,
+			Assoc: 2, HitLatency: l2Latency, Banks: 8,
+		},
+		MemLatency:   100,
+		Warmup:       300_000,
+		Instructions: 1_000_000,
+	}
+}
+
+// RunResult bundles everything one simulation produced.
+type RunResult struct {
+	Bench       string
+	Params      leakctl.Params
+	CPU         cpu.Stats
+	DStats      leakctl.Stats
+	L2Stats     cache.Stats
+	ICStats     cache.Stats
+	Bpred       bpred.Stats
+	TurnoffRat  float64
+	Measurement energy.RunMeasurement
+
+	// IL1Meas / IL1Stats are filled in when the I-cache is also under
+	// leakage control (MachineConfig.IL1Control): the measurement's
+	// StandbyLineCycles then refer to the I-cache so the same
+	// energy.Compare machinery scores it against the L1I geometry.
+	IL1Meas    *energy.RunMeasurement
+	IL1Stats   *leakctl.Stats
+	IL1Turnoff float64
+}
+
+// RunOne simulates the machine over one benchmark with the given
+// leakage-control parameters. adapter, if non-nil, is installed on the
+// controlled cache (adaptive decay study).
+func RunOne(mc MachineConfig, prof workload.Profile, params leakctl.Params, adapter leakctl.Adapter) RunResult {
+	return RunOneFrom(mc, prof.Name, workload.NewGenerator(prof), params, adapter)
+}
+
+// RunOneFrom is RunOne over an arbitrary instruction source — a live
+// generator or a recorded trace (package trace) replayed from disk.
+func RunOneFrom(mc MachineConfig, name string, src cpu.InstrSource, params leakctl.Params, adapter leakctl.Adapter) RunResult {
+	mem := cache.NewMemory(mc.Tech, mc.MemLatency)
+	l2 := cache.New(mc.Tech, mc.L2, mem)
+	dl1 := leakctl.New(mc.Tech, mc.L1D, params, l2)
+	if adapter != nil {
+		dl1.Adapter = adapter
+	}
+
+	// The I-cache is plain unless the extension study controls it too.
+	var l1i cpu.FetchCache
+	var il1Plain *cache.Cache
+	var il1Ctl *leakctl.DCache
+	if mc.IL1Control != nil {
+		il1Ctl = leakctl.New(mc.Tech, mc.L1I, *mc.IL1Control, l2)
+		l1i = il1Ctl
+	} else {
+		il1Plain = cache.New(mc.Tech, mc.L1I, l2)
+		l1i = il1Plain
+	}
+
+	pred := bpred.New(mc.Bpred)
+	core := cpu.New(mc.CPU, src, pred, l1i, dl1)
+
+	if mc.Warmup > 0 {
+		core.Run(mc.Warmup)
+		core.ResetStats()
+		l2.ResetStats()
+		mem.ResetStats()
+		pred.ResetStats()
+		dl1.ResetStats(core.Now())
+		if il1Plain != nil {
+			il1Plain.ResetStats()
+		} else {
+			il1Ctl.ResetStats(core.Now())
+		}
+	}
+	cs := core.Run(mc.Instructions)
+	dl1.Finish(core.Now())
+
+	var icDynJ float64
+	var icStats cache.Stats
+	if il1Plain != nil {
+		icDynJ = il1Plain.DynJ
+		icStats = il1Plain.Stats
+	} else {
+		il1Ctl.Finish(core.Now())
+		icDynJ = il1Ctl.Energy.Total()
+		icStats = cache.Stats{
+			Accesses: il1Ctl.Stats.Accesses,
+			Hits:     il1Ctl.Stats.Hits + il1Ctl.Stats.SlowHits,
+			Misses:   il1Ctl.Stats.Misses,
+		}
+	}
+
+	meas := energy.RunMeasurement{
+		Cycles:            cs.Cycles,
+		Instructions:      cs.Instructions,
+		StandbyLineCycles: dl1.StandbyLineCycles(),
+		DCacheDynJ:        dl1.Energy.Total(),
+		L2DynJ:            l2.DynJ,
+		MemDynJ:           mem.DynJ,
+		ICacheDynJ:        icDynJ,
+		// Per-cycle background: D-cache periphery clock plus the
+		// whole-chip background dynamic power (cost item #4 — what
+		// makes extra runtime expensive).
+		ClockJ: float64(cs.Cycles) * (dl1.AccessE.PerCycleClock +
+			mc.Tech.ChipBackgroundW/mc.Tech.ClockHz),
+		DStats: dl1.Stats,
+	}
+	res := RunResult{
+		Bench:       name,
+		Params:      params,
+		CPU:         cs,
+		DStats:      dl1.Stats,
+		L2Stats:     l2.Stats,
+		ICStats:     icStats,
+		Bpred:       pred.Stats,
+		TurnoffRat:  dl1.TurnoffRatio(),
+		Measurement: meas,
+	}
+	if il1Ctl != nil {
+		im := meas
+		im.StandbyLineCycles = il1Ctl.StandbyLineCycles()
+		im.DStats = il1Ctl.Stats
+		res.IL1Meas = &im
+		st := il1Ctl.Stats
+		res.IL1Stats = &st
+		res.IL1Turnoff = il1Ctl.TurnoffRatio()
+	}
+	return res
+}
+
+// Point is one evaluated (benchmark, technique) cell of a figure.
+type Point struct {
+	Bench     string
+	Technique leakctl.Technique
+	Interval  uint64
+	Cmp       energy.Comparison
+	Run       RunResult
+}
+
+// Suite runs comparisons with baseline caching: the uncontrolled run for a
+// (benchmark, L2 latency) pair is simulated once and reused. Baseline is
+// safe for concurrent use.
+type Suite struct {
+	MC        MachineConfig
+	mu        sync.Mutex
+	baselines map[string]RunResult
+}
+
+// NewSuite builds a suite over the given machine.
+func NewSuite(mc MachineConfig) *Suite {
+	return &Suite{MC: mc, baselines: make(map[string]RunResult)}
+}
+
+// Baseline returns (simulating on first use) the uncontrolled run for a
+// profile.
+func (s *Suite) Baseline(prof workload.Profile) RunResult {
+	s.mu.Lock()
+	if r, ok := s.baselines[prof.Name]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+	r := RunOne(s.MC, prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil)
+	s.mu.Lock()
+	s.baselines[prof.Name] = r
+	s.mu.Unlock()
+	return r
+}
+
+// Evaluate runs one technique on one benchmark and scores it at the given
+// temperature (Celsius). The leakage model is re-environmented, so a Suite
+// can score the same timing run at several temperatures cheaply via
+// EvaluateRun.
+func (s *Suite) Evaluate(prof workload.Profile, params leakctl.Params, tempC float64, m *leakage.Model) Point {
+	run := RunOne(s.MC, prof, params, nil)
+	return s.EvaluateRun(prof, run, tempC, m)
+}
+
+// EvaluateRun scores an existing technique run against the cached baseline
+// at the given temperature.
+func (s *Suite) EvaluateRun(prof workload.Profile, run RunResult, tempC float64, m *leakage.Model) Point {
+	base := s.Baseline(prof)
+	m.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(tempC), Vdd: s.MC.Tech.VddNominal})
+	cmp := energy.Compare(m, s.MC.L1D, run.Params.Technique.Mode(),
+		base.Measurement, run.Measurement, s.MC.Tech.ClockHz)
+	return Point{
+		Bench:     prof.Name,
+		Technique: run.Params.Technique,
+		Interval:  run.Params.Interval,
+		Cmp:       cmp,
+		Run:       run,
+	}
+}
+
+// String summarises a point for debugging.
+func (p Point) String() string {
+	return fmt.Sprintf("%-7s %-9s iv=%-6d net=%6.1f%% perf=%5.2f%% off=%4.1f%%",
+		p.Bench, p.Technique, p.Interval, p.Cmp.NetSavingsPct, p.Cmp.PerfLossPct,
+		100*p.Cmp.TurnoffRatio)
+}

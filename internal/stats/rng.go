@@ -1,0 +1,142 @@
+// Package stats provides the small deterministic random-number and
+// descriptive-statistics helpers shared by the workload generators, the
+// parameter-variation Monte Carlo, and the experiment harness.
+//
+// The generator is a SplitMix64/xorshift-star hybrid rather than math/rand so
+// that every experiment in this repository is bit-reproducible for a given
+// seed across Go releases.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator.
+// The zero value is not usable; construct with NewRNG.
+type RNG struct {
+	state uint64
+	// spare holds a banked Box-Muller variate for Gaussian sampling.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed. Two generators built from the
+// same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{state: seed}
+	// Scramble trivial seeds (0, 1, ...) so nearby seeds diverge immediately.
+	for i := 0; i < 4; i++ {
+		r.Uint64()
+	}
+	return r
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	// SplitMix64 step.
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Gaussian returns a normally distributed value with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *RNG) Gaussian(mean, stddev float64) float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return mean + stddev*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return mean + stddev*u*m
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p, i.e. the number of failures before the first success
+// (support {0, 1, 2, ...}, mean (1-p)/p).
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p >= 1 {
+		if p >= 1 {
+			return 0
+		}
+		panic("stats: Geometric requires 0 < p <= 1")
+	}
+	u := r.Float64()
+	return int(math.Floor(math.Log1p(-u) / math.Log1p(-p)))
+}
+
+// Exponential returns a sample from an exponential distribution with the
+// given mean.
+func (r *RNG) Exponential(mean float64) float64 {
+	u := r.Float64()
+	return -mean * math.Log1p(-u)
+}
+
+// Zipf draws from a bounded Zipf distribution over {0, ..., n-1} with
+// exponent s, using the precomputed table in z.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s >= 0 (s == 0 is
+// uniform), drawing randomness from rng.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

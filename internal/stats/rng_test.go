@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiverge(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("nearby seeds produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if m := sum / n; math.Abs(m-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", m)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("Intn(10) never produced %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Gaussian(3, 2)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Errorf("gaussian mean = %v, want ~3", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("gaussian stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(9)
+	for _, p := range []float64{0.1, 0.3, 0.7} {
+		const n = 100000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Geometric(p)
+		}
+		want := (1 - p) / p
+		got := float64(sum) / n
+		if math.Abs(got-want) > 0.08*want+0.02 {
+			t.Errorf("Geometric(%v) mean = %v, want ~%v", p, got, want)
+		}
+	}
+}
+
+func TestGeometricEdge(t *testing.T) {
+	r := NewRNG(1)
+	if v := r.Geometric(1); v != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", v)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(13)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(5)
+	}
+	if m := sum / n; math.Abs(m-5) > 0.15 {
+		t.Fatalf("Exponential(5) mean = %v", m)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(17)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	if got := float64(hits) / n; math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) rate = %v", got)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := NewRNG(19)
+	z := NewZipf(r, 4, 0)
+	counts := make([]int, 4)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)/n-0.25) > 0.02 {
+			t.Errorf("rank %d frequency %v, want ~0.25", i, float64(c)/n)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(23)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// p(0)/p(9) should be ~10 for s=1.
+	ratio := float64(counts[0]) / float64(counts[9])
+	if ratio < 6 || ratio > 15 {
+		t.Fatalf("zipf(1.0) rank0/rank9 ratio = %v, want ~10", ratio)
+	}
+	// Monotone non-increasing in expectation: check aggregate halves.
+	firstHalf, secondHalf := 0, 0
+	for i, c := range counts {
+		if i < 50 {
+			firstHalf += c
+		} else {
+			secondHalf += c
+		}
+	}
+	if firstHalf <= secondHalf {
+		t.Fatalf("zipf mass not front-loaded: %d vs %d", firstHalf, secondHalf)
+	}
+}
+
+func TestZipfRangeProperty(t *testing.T) {
+	// Property: every sample is within [0, n) for arbitrary n, s.
+	f := func(seed uint64, nRaw uint16, sRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		s := float64(sRaw%30) / 10
+		r := NewRNG(seed)
+		z := NewZipf(r, n, s)
+		for i := 0; i < 50; i++ {
+			if v := z.Next(); v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussianDeterministicPerSeed(t *testing.T) {
+	a, b := NewRNG(31), NewRNG(31)
+	for i := 0; i < 100; i++ {
+		if a.Gaussian(0, 1) != b.Gaussian(0, 1) {
+			t.Fatal("gaussian streams diverged")
+		}
+	}
+}

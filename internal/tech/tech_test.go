@@ -1,0 +1,128 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestByNode(t *testing.T) {
+	for _, n := range []Node{Node180, Node130, Node100, Node70} {
+		p, err := ByNode(n)
+		if err != nil {
+			t.Fatalf("ByNode(%v): %v", n, err)
+		}
+		if p.Node != n {
+			t.Errorf("ByNode(%v).Node = %v", n, p.Node)
+		}
+	}
+	if _, err := ByNode(Node(90)); err == nil {
+		t.Error("ByNode(90) did not error")
+	}
+}
+
+func TestMustByNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByNode(1) did not panic")
+		}
+	}()
+	MustByNode(Node(1))
+}
+
+func TestPaper70nmParameters(t *testing.T) {
+	p := MustByNode(Node70)
+	// The exact values the paper quotes for 70 nm.
+	if p.N.Vth0 != 0.190 {
+		t.Errorf("N Vth = %v, want 0.190", p.N.Vth0)
+	}
+	if p.P.Vth0 != 0.213 {
+		t.Errorf("P Vth = %v, want 0.213", p.P.Vth0)
+	}
+	if p.VddNominal != 0.9 {
+		t.Errorf("Vdd = %v, want 0.9", p.VddNominal)
+	}
+	if p.Vdd0 != 1.0 {
+		t.Errorf("Vdd0 = %v, want 1.0 (paper: Vdd0=1.0 for 70nm)", p.Vdd0)
+	}
+	if p.ClockHz != 5.6e9 {
+		t.Errorf("clock = %v, want 5.6 GHz", p.ClockHz)
+	}
+}
+
+func TestVdd0PerNode(t *testing.T) {
+	// Paper Section 3.1.1: Vdd0 = 2.0/1.5/1.2/1.0 for 180/130/100/70 nm.
+	want := map[Node]float64{Node180: 2.0, Node130: 1.5, Node100: 1.2, Node70: 1.0}
+	for n, v := range want {
+		if p := MustByNode(n); p.Vdd0 != v {
+			t.Errorf("%v Vdd0 = %v, want %v", n, p.Vdd0, v)
+		}
+	}
+}
+
+func TestVthDecreasesWithTemperature(t *testing.T) {
+	p := MustByNode(Node70)
+	cold := p.VthAt(p.N, 300)
+	hot := p.VthAt(p.N, 383)
+	if hot >= cold {
+		t.Fatalf("Vth(383K)=%v >= Vth(300K)=%v", hot, cold)
+	}
+	if v := p.VthAt(DeviceParams{Vth0: 0.01}, 500); v < 0.02 {
+		t.Fatalf("Vth clamp failed: %v", v)
+	}
+}
+
+func TestKDesignFitLinear(t *testing.T) {
+	k := KDesignFit{K0: 0.4, KT: 1e-3, KV: 0.1}
+	base := k.Eval(300, 1.0, 1.0)
+	if base != 0.4 {
+		t.Fatalf("Eval at reference = %v, want 0.4", base)
+	}
+	if got := k.Eval(310, 1.0, 1.0); math.Abs(got-0.41) > 1e-12 {
+		t.Errorf("temperature slope: %v, want 0.41", got)
+	}
+	if got := k.Eval(300, 1.1, 1.0); got < 0.4099 || got > 0.4101 {
+		t.Errorf("voltage slope: %v, want ~0.41", got)
+	}
+	if got := (KDesignFit{K0: 0.01, KT: -1}).Eval(400, 1, 1); got != 0 {
+		t.Errorf("negative k not clamped: %v", got)
+	}
+}
+
+func TestCoxScalesInverselyWithTox(t *testing.T) {
+	thin := MustByNode(Node70).CoxFperM2()
+	thick := MustByNode(Node180).CoxFperM2()
+	if thin <= thick {
+		t.Fatalf("Cox(70nm)=%v <= Cox(180nm)=%v", thin, thick)
+	}
+}
+
+func TestDrowsyVddIsAboveRetention(t *testing.T) {
+	for _, n := range []Node{Node180, Node130, Node100, Node70} {
+		p := MustByNode(n)
+		v := p.DrowsyVdd()
+		if v <= p.N.Vth0 {
+			t.Errorf("%v drowsy Vdd %v <= Vth %v: state would be lost", n, v, p.N.Vth0)
+		}
+		if v >= p.VddNominal {
+			t.Errorf("%v drowsy Vdd %v >= nominal %v: no leakage benefit", n, v, p.VddNominal)
+		}
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	if Node70.String() != "70nm" {
+		t.Errorf("Node70.String() = %q", Node70.String())
+	}
+}
+
+func TestSleepVthAboveNominal(t *testing.T) {
+	for _, n := range []Node{Node180, Node130, Node100, Node70} {
+		p := MustByNode(n)
+		if p.SleepVth <= p.N.Vth0 {
+			t.Errorf("%v sleep Vth %v not above nominal %v", n, p.SleepVth, p.N.Vth0)
+		}
+		if p.ChipBackgroundW <= 0 {
+			t.Errorf("%v ChipBackgroundW = %v", n, p.ChipBackgroundW)
+		}
+	}
+}

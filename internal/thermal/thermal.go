@@ -1,0 +1,88 @@
+// Package thermal is a first-order compact thermal model (a HotSpot-style
+// RC node) that closes the loop the paper leaves open: leakage depends
+// exponentially on temperature, and temperature depends on total power —
+// a positive feedback that can run away on hot dies. HotLeakage's dynamic
+// recalculation (leakage.Model.SetEnv) is exactly what such a loop needs;
+// this package supplies the other half.
+//
+// The model is one thermal RC node per die region:
+//
+//	C * dT/dt = P(T) - (T - Tamb)/R
+//
+// integrated with forward Euler. P(T) is supplied by a callback so the
+// caller can fold in the HotLeakage model at each step plus any fixed
+// dynamic power. Equilibrium solving and runaway detection are provided.
+package thermal
+
+import "errors"
+
+// RC is a single-node compact thermal model.
+type RC struct {
+	// RThermal is the junction-to-ambient thermal resistance in K/W.
+	RThermal float64
+	// CThermal is the thermal capacitance in J/K.
+	CThermal float64
+	// AmbientK is the ambient (heat-sink) temperature in kelvin.
+	AmbientK float64
+}
+
+// Default70nm returns a thermal node sized for a hot 70 nm core region:
+// ~0.8 K/W to ambient through the package and a time constant of a few
+// milliseconds (the scale of the paper's companion HotSpot work).
+func Default70nm() RC {
+	return RC{RThermal: 0.8, CThermal: 0.005, AmbientK: 318.15} // 45 C ambient
+}
+
+// TimeConstant returns R*C in seconds.
+func (rc RC) TimeConstant() float64 { return rc.RThermal * rc.CThermal }
+
+// Step advances the node temperature by dt seconds under power watts and
+// returns the new temperature.
+func (rc RC) Step(tempK, watts, dt float64) float64 {
+	dT := (watts - (tempK-rc.AmbientK)/rc.RThermal) / rc.CThermal
+	return tempK + dT*dt
+}
+
+// ErrRunaway reports that the power-temperature loop failed to converge
+// below the limit temperature: thermal runaway.
+var ErrRunaway = errors.New("thermal: power-temperature loop did not converge (runaway)")
+
+// Equilibrium iterates the coupled loop T -> P(T) -> T to a fixed point.
+// power is called with the current temperature and must return total power
+// in watts (dynamic + leakage at that temperature). limitK aborts the
+// search (runaway); typical silicon limits are 380-400 K.
+func (rc RC) Equilibrium(power func(tempK float64) float64, limitK float64) (float64, error) {
+	t := rc.AmbientK
+	for i := 0; i < 400; i++ {
+		tNext := rc.AmbientK + rc.RThermal*power(t)
+		if tNext > limitK {
+			return tNext, ErrRunaway
+		}
+		// Damped fixed-point iteration for stability near the knee.
+		tNext = t + 0.5*(tNext-t)
+		if diff := tNext - t; diff < 1e-4 && diff > -1e-4 {
+			return tNext, nil
+		}
+		t = tNext
+	}
+	return t, ErrRunaway
+}
+
+// Transient integrates the node for total seconds with the given step,
+// calling power(T) each step, and returns the temperature trajectory
+// sampled every sampleEvery steps (including the initial point).
+func (rc RC) Transient(t0K float64, power func(tempK float64) float64, dt, total float64, sampleEvery int) []float64 {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	out := []float64{t0K}
+	t := t0K
+	steps := int(total / dt)
+	for i := 1; i <= steps; i++ {
+		t = rc.Step(t, power(t), dt)
+		if i%sampleEvery == 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package thermal
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hotleakage/internal/leakage"
+	"hotleakage/internal/tech"
+)
+
+func TestStepTowardEquilibrium(t *testing.T) {
+	rc := Default70nm()
+	const watts = 20.0
+	want := rc.AmbientK + rc.RThermal*watts
+	temp := rc.AmbientK
+	for i := 0; i < 100000; i++ {
+		temp = rc.Step(temp, watts, 1e-5)
+	}
+	if math.Abs(temp-want) > 0.1 {
+		t.Fatalf("steady state %v, want %v", temp, want)
+	}
+}
+
+func TestStepCoolsWithoutPower(t *testing.T) {
+	rc := Default70nm()
+	temp := rc.AmbientK + 50
+	next := rc.Step(temp, 0, 1e-5)
+	if next >= temp {
+		t.Fatal("unpowered node did not cool")
+	}
+}
+
+func TestEquilibriumConstantPower(t *testing.T) {
+	rc := Default70nm()
+	got, err := rc.Equilibrium(func(float64) float64 { return 25 }, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rc.AmbientK + rc.RThermal*25
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("equilibrium %v, want %v", got, want)
+	}
+}
+
+func TestEquilibriumWithLeakageFeedback(t *testing.T) {
+	// Close the real loop: fixed dynamic power plus the HotLeakage
+	// model's temperature-dependent leakage of a large SRAM budget.
+	p := tech.MustByNode(tech.Node70)
+	m := leakage.New(p)
+	rc := Default70nm()
+	const cells = 16 * 1024 * 1024 * 8 // 16 MB of on-die SRAM
+	power := func(tempK float64) float64 {
+		m.SetEnv(leakage.Env{TempK: tempK, Vdd: p.VddNominal})
+		return 12 + m.StructurePower(leakage.SRAM6T, cells, leakage.ModeActive)
+	}
+	eq, err := rc.Equilibrium(power, 420)
+	if err != nil {
+		t.Fatalf("loop did not converge: %v (T=%v)", err, eq)
+	}
+	// Feedback must push equilibrium above the no-leakage point.
+	noLeak := rc.AmbientK + rc.RThermal*12
+	if eq <= noLeak+1 {
+		t.Fatalf("leakage feedback had no effect: %v vs %v", eq, noLeak)
+	}
+}
+
+func TestRunawayDetected(t *testing.T) {
+	rc := Default70nm()
+	// Super-linear power growth with temperature guarantees runaway.
+	power := func(tempK float64) float64 { return 5 * math.Exp((tempK-318)/10) }
+	_, err := rc.Equilibrium(power, 400)
+	if !errors.Is(err, ErrRunaway) {
+		t.Fatalf("runaway not detected: %v", err)
+	}
+}
+
+func TestGatedControlAvertsRunaway(t *testing.T) {
+	// The headline thermal story: with a big hot SRAM budget and a tight
+	// thermal budget, leaving the array fully active runs away, while
+	// gated-Vss control of 80% of it converges. (Drowsy at 16% residual
+	// also helps; gated's 0.4% is decisive.)
+	p := tech.MustByNode(tech.Node70)
+	m := leakage.New(p)
+	rc := Default70nm()
+	rc.RThermal = 1.6 // weak cooling
+	const cells = 24 * 1024 * 1024 * 8
+	const turnoff = 0.8
+
+	uncontrolled := func(tempK float64) float64 {
+		m.SetEnv(leakage.Env{TempK: tempK, Vdd: p.VddNominal})
+		return 15 + m.StructurePower(leakage.SRAM6T, cells, leakage.ModeActive)
+	}
+	gated := func(tempK float64) float64 {
+		m.SetEnv(leakage.Env{TempK: tempK, Vdd: p.VddNominal})
+		active := m.StructurePower(leakage.SRAM6T, cells, leakage.ModeActive)
+		standby := m.StructurePower(leakage.SRAM6T, cells, leakage.ModeGated)
+		return 15 + (1-turnoff)*active + turnoff*standby
+	}
+
+	if _, err := rc.Equilibrium(uncontrolled, 400); !errors.Is(err, ErrRunaway) {
+		t.Skip("uncontrolled configuration did not run away at this sizing; skipping contrast")
+	}
+	eq, err := rc.Equilibrium(gated, 400)
+	if err != nil {
+		t.Fatalf("gated-controlled die still ran away: T=%v", eq)
+	}
+}
+
+func TestTransientMonotoneHeatUp(t *testing.T) {
+	rc := Default70nm()
+	traj := rc.Transient(rc.AmbientK, func(float64) float64 { return 30 }, 1e-5, 0.02, 100)
+	if len(traj) < 10 {
+		t.Fatalf("trajectory too short: %d", len(traj))
+	}
+	for i := 1; i < len(traj); i++ {
+		if traj[i] < traj[i-1]-1e-9 {
+			t.Fatalf("heat-up trajectory not monotone at %d", i)
+		}
+	}
+	// Must approach equilibrium from below.
+	want := rc.AmbientK + rc.RThermal*30
+	if traj[len(traj)-1] > want {
+		t.Fatal("trajectory overshot equilibrium")
+	}
+}
+
+func TestTimeConstant(t *testing.T) {
+	rc := RC{RThermal: 2, CThermal: 0.01}
+	if rc.TimeConstant() != 0.02 {
+		t.Fatalf("tau = %v", rc.TimeConstant())
+	}
+}
