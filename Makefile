@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test verify bench clean
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# The verify tier: static analysis plus the full suite under the race
+# detector. Slower than `make test`; run before merging.
+verify: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -v .
+
+clean:
+	$(GO) clean ./...
+	rm -f results/*.json

@@ -13,6 +13,7 @@
 package hotleakage_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -30,6 +31,18 @@ const (
 	benchWarmup = 120_000
 	benchInstr  = 300_000
 )
+
+// ctx0 is the benchmarks' context; they run uninterrupted.
+var ctx0 = context.Background()
+
+// must unwraps a (value, error) pair; benchmark configurations are known
+// good, so an error is a bug.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 // experiments is shared across benchmarks so the run cache amortizes.
 var (
@@ -174,8 +187,8 @@ func runAblation(mc sim.MachineConfig, params leakctl.Params, adapter leakctl.Ad
 	model := leakage.New(mc.Tech)
 	for _, name := range ablationBenches {
 		prof, _ := workload.ByName(name)
-		run := sim.RunOne(mc, prof, params, adapter)
-		p := suite.EvaluateRun(prof, run, 110, model)
+		run := must(sim.RunOne(ctx0, mc, prof, params, adapter))
+		p := must(suite.EvaluateRun(ctx0, prof, run, 110, model))
 		sav += p.Cmp.NetSavingsPct
 		perf += p.Cmp.PerfLossPct
 	}
@@ -215,8 +228,8 @@ func BenchmarkAblationTagDecay(b *testing.B) {
 		for _, name := range ablationBenches {
 			prof, _ := workload.ByName(name)
 			pd := leakctl.DefaultParams(leakctl.TechDrowsy, sim.DefaultInterval)
-			run := sim.RunOne(mc, prof, pd, nil)
-			base := suite.Baseline(prof)
+			run := must(sim.RunOne(ctx0, mc, prof, pd, nil))
+			base := must(suite.Baseline(ctx0, prof))
 			model.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(110), Vdd: mc.Tech.VddNominal})
 			on := energy.CompareTags(model, mc.L1D, leakage.ModeDrowsy, true,
 				base.Measurement, run.Measurement, mc.Tech.ClockHz)
@@ -226,7 +239,7 @@ func BenchmarkAblationTagDecay(b *testing.B) {
 			pa := pd
 			pa.DecayTags = false
 			pa.WakeLatency = 1 // data-only wake: 1-2 cycles per the paper
-			runAwake := sim.RunOne(mc, prof, pa, nil)
+			runAwake := must(sim.RunOne(ctx0, mc, prof, pa, nil))
 			off := energy.CompareTags(model, mc.L1D, leakage.ModeDrowsy, false,
 				base.Measurement, runAwake.Measurement, mc.Tech.ClockHz)
 			offS += off.NetSavingsPct
@@ -265,8 +278,8 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 		for _, name := range ablationBenches {
 			prof, _ := workload.ByName(name)
 			ctl := adaptive.NewFeedback(sim.DefaultInterval, 8)
-			run := sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), ctl)
-			pt := suite.EvaluateRun(prof, run, 110, model)
+			run := must(sim.RunOne(ctx0, mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), ctl))
+			pt := must(suite.EvaluateRun(ctx0, prof, run, 110, model))
 			as += pt.Cmp.NetSavingsPct
 			ap += pt.Cmp.PerfLossPct
 		}
@@ -311,8 +324,8 @@ func BenchmarkAblationICache(b *testing.B) {
 			sum := 0.0
 			for _, name := range ablationBenches {
 				prof, _ := workload.ByName(name)
-				run := sim.RunOne(mcI, prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil)
-				base := suite.Baseline(prof)
+				run := must(sim.RunOne(ctx0, mcI, prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil))
+				base := must(suite.Baseline(ctx0, prof))
 				model.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(110), Vdd: mc.Tech.VddNominal})
 				cmp := energy.Compare(model, mc.L1I, tq.Mode(),
 					base.Measurement, *run.IL1Meas, mc.Tech.ClockHz)
@@ -387,8 +400,8 @@ func BenchmarkAblationL2Latency(b *testing.B) {
 			suite := sim.NewSuite(mc)
 			model := leakage.New(mc.Tech)
 			prof, _ := workload.ByName("gcc")
-			run := sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), nil)
-			p := suite.EvaluateRun(prof, run, 110, model)
+			run := must(sim.RunOne(ctx0, mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), nil))
+			p := must(suite.EvaluateRun(ctx0, prof, run, 110, model))
 			if l2 == 5 {
 				gcc5 = p.Cmp.NetSavingsPct
 			} else {
@@ -409,7 +422,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	mc.Instructions = 100_000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), nil)
+		must(sim.RunOne(ctx0, mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), nil))
 	}
 	b.ReportMetric(float64(mc.Instructions)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 }

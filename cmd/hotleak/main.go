@@ -11,25 +11,36 @@
 //	hotleak -node 70 -cells 524288          # e.g. a 64KB data array
 //	hotleak -derive                         # k_design for the gate library
 //	hotleak -variation                      # inter-die Monte Carlo multipliers
+//	hotleak -compare gcc -timeout 2m        # full technique comparison
+//
+// The -compare mode runs real timing simulations; it honours SIGINT (the
+// run stops cleanly) and an optional per-invocation -timeout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"hotleakage/internal/core"
 	"hotleakage/internal/leakage"
 	"hotleakage/internal/tech"
 )
 
 func main() {
 	var (
-		node   = flag.Int("node", 70, "technology node in nm (180, 130, 100, 70)")
-		tempC  = flag.Float64("temp", 85, "operating temperature in Celsius")
-		vdd    = flag.Float64("vdd", 0, "supply voltage (0 = node nominal)")
-		cells  = flag.Int("cells", 64*1024*8, "SRAM cell count for the structure report")
-		derive = flag.Bool("derive", false, "derive k_design for the built-in gate library")
-		vary   = flag.Bool("variation", false, "report inter-die variation multipliers")
+		node    = flag.Int("node", 70, "technology node in nm (180, 130, 100, 70)")
+		tempC   = flag.Float64("temp", 85, "operating temperature in Celsius")
+		vdd     = flag.Float64("vdd", 0, "supply voltage (0 = node nominal)")
+		cells   = flag.Int("cells", 64*1024*8, "SRAM cell count for the structure report")
+		derive  = flag.Bool("derive", false, "derive k_design for the built-in gate library")
+		vary    = flag.Bool("variation", false, "report inter-die variation multipliers")
+		compare = flag.String("compare", "", "run the drowsy vs gated-Vss comparison on a benchmark")
+		timeout = flag.Duration("timeout", 0, "deadline for -compare simulations (0 = none)")
 	)
 	flag.Parse()
 
@@ -40,6 +51,10 @@ func main() {
 	}
 	if *vdd == 0 {
 		*vdd = p.VddNominal
+	}
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *tempC, *timeout, *vary))
 	}
 
 	if *derive {
@@ -84,4 +99,32 @@ func main() {
 			1e3*m.StructurePower(leakage.SRAM6T, *cells, mode),
 			100*m.StandbyFraction(leakage.SRAM6T, mode))
 	}
+}
+
+// runCompare runs the one-call technique comparison under SIGINT handling
+// and an optional deadline.
+func runCompare(bench string, tempC float64, timeout time.Duration, vary bool) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := core.CompareTechniquesContext(ctx, core.Options{
+		Benchmark: bench,
+		TempC:     tempC,
+		Variation: vary,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%s @ %.0f C, L2=11: baseline IPC %.2f\n", res.Benchmark, tempC, res.BaselineIPC)
+	fmt.Printf("%-10s %12s %12s %10s\n", "technique", "net savings", "perf loss", "turnoff")
+	for _, tr := range res.Techniques {
+		fmt.Printf("%-10s %11.1f%% %11.2f%% %9.1f%%\n",
+			tr.Technique, tr.NetSavingsPct, tr.PerfLossPct, 100*tr.TurnoffRatio)
+	}
+	return 0
 }

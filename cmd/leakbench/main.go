@@ -9,47 +9,96 @@
 //
 // Output is text tables: one row per benchmark, one column per technique —
 // the harness's equivalent of the paper's bar charts.
+//
+// Long regenerations run supervised: each simulation has an optional
+// deadline (-timeout), transient failures retry (-max-retries), completed
+// runs are checkpointed (-checkpoint) and an interrupted suite resumes
+// (-resume) re-executing only the missing runs. SIGINT drains cleanly:
+// in-flight runs stop, completed results are kept (and checkpointed), and
+// the failure summary reports what was cut short. A run that fails for any
+// reason degrades to an ERR cell in its figures; the command then exits
+// non-zero after rendering everything that succeeded.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"hotleakage/internal/harness/faultinject"
 	"hotleakage/internal/leakage"
 	"hotleakage/internal/sim"
 	"hotleakage/internal/tech"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		all    = flag.Bool("all", false, "regenerate every figure and table")
-		fig    = flag.Int("fig", 0, "figure number to regenerate (1, 3-13)")
-		table  = flag.Int("table", 0, "table number to regenerate (1-3)")
-		n      = flag.Uint64("n", 1_000_000, "measured instructions per run")
-		warmup = flag.Uint64("warmup", 300_000, "warmup instructions per run")
-		vary   = flag.Bool("variation", false, "enable inter-die parameter variation (Section 3.3)")
-		serial = flag.Bool("serial", false, "disable parallel simulation")
-		asCSV  = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
+		all        = flag.Bool("all", false, "regenerate every figure and table")
+		fig        = flag.Int("fig", 0, "figure number to regenerate (1, 3-13)")
+		table      = flag.Int("table", 0, "table number to regenerate (1-3)")
+		n          = flag.Uint64("n", 1_000_000, "measured instructions per run")
+		warmup     = flag.Uint64("warmup", 300_000, "warmup instructions per run")
+		vary       = flag.Bool("variation", false, "enable inter-die parameter variation (Section 3.3)")
+		serial     = flag.Bool("serial", false, "disable parallel simulation")
+		asCSV      = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
+		timeout    = flag.Duration("timeout", 0, "per-run deadline (e.g. 30s; 0 = none)")
+		checkpoint = flag.String("checkpoint", "", "JSON-lines file recording completed runs")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint (its header must match -n/-warmup)")
+		maxRetries = flag.Int("max-retries", 2, "re-executions of a transiently failed run")
+		faultSpec  = flag.String("faultinject", "", "inject faults for testing, e.g. panic:1/8[:seed=N][:sticky]")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the suite: workers drain, completed runs are
+	// kept and checkpointed, and the failure summary reports the rest.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	e := sim.NewExperiments()
 	e.Instructions = *n
 	e.Warmup = *warmup
 	e.Parallel = !*serial
+	e.Ctx = ctx
+	e.RunTimeout = *timeout
+	e.MaxRetries = *maxRetries
+	e.CheckpointPath = *checkpoint
+	e.Resume = *resume
 	if *vary {
 		e.Variation = leakage.DefaultVariation70nm()
+	}
+	if *faultSpec != "" {
+		inj, err := faultinject.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		e.Injector = inj
 	}
 
 	if !*all && *fig == 0 && *table == 0 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+		return 2
 	}
 	if *n < 300_000 {
 		fmt.Fprintf(os.Stderr, "warning: -n %d is small; cold-start effects dominate below ~300000 instructions and gated-Vss is unfairly penalized\n", *n)
 	}
+	if err := e.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer e.Close()
 
 	csv = *asCSV
 	start := time.Now()
@@ -66,7 +115,29 @@ func main() {
 	} else {
 		runTable(e, *table)
 	}
+	if e.Resumed() > 0 {
+		fmt.Fprintf(os.Stderr, "%d run(s) restored from %s, %d executed\n",
+			e.Resumed(), *checkpoint, e.Executed())
+	}
 	fmt.Fprintf(os.Stderr, "total %.1fs\n", time.Since(start).Seconds())
+
+	code := 0
+	if s := e.FailureSummary(); s != "" {
+		fmt.Fprint(os.Stderr, s)
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "re-run with -checkpoint %s -resume to re-execute only the failed runs\n", *checkpoint)
+		}
+		code = 1
+	}
+	if err := e.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		code = 1
+	}
+	if err := e.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		code = 1
+	}
+	return code
 }
 
 func runFigure(e *sim.Experiments, fig int) {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -117,7 +118,11 @@ func simulate(p workload.Profile, n uint64) {
 	mc := sim.DefaultMachine(11)
 	mc.Warmup = n / 3
 	mc.Instructions = n
-	r := sim.NewSuite(mc).Baseline(p)
+	r, err := sim.NewSuite(mc).Baseline(context.Background(), p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	dl1miss := float64(r.DStats.Misses) / float64(max(r.DStats.Accesses, 1))
 	fmt.Printf("         IPC=%.2f dl1miss=%.2f%% il1miss=%.2f%% l2miss=%.2f%% bpred=%.2f%%\n",
 		r.CPU.IPC(), 100*dl1miss, 100*r.ICStats.MissRate(),

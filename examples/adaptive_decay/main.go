@@ -11,7 +11,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"hotleakage/internal/adaptive"
 	"hotleakage/internal/leakage"
@@ -20,7 +22,15 @@ import (
 	"hotleakage/internal/workload"
 )
 
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
+	ctx := context.Background()
 	mc := sim.DefaultMachine(11)
 	mc.Warmup = 150_000
 	mc.Instructions = 400_000
@@ -39,9 +49,9 @@ func main() {
 	var fxSum, orSum, fbSum float64
 	profiles := workload.Profiles()
 	for _, prof := range profiles {
-		fixed := suite.EvaluateRun(prof,
-			sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), nil),
-			tempC, model)
+		fixed := must(suite.EvaluateRun(ctx, prof,
+			must(sim.RunOne(ctx, mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), nil)),
+			tempC, model))
 
 		// Oracle: best interval from the sweep.
 		best := fixed
@@ -55,9 +65,9 @@ func main() {
 
 		// Feedback controller, started from the default interval.
 		ctl := adaptive.NewFeedback(sim.DefaultInterval, 8)
-		fb := suite.EvaluateRun(prof,
-			sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), ctl),
-			tempC, model)
+		fb := must(suite.EvaluateRun(ctx, prof,
+			must(sim.RunOne(ctx, mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), ctl)),
+			tempC, model))
 
 		fmt.Printf("%-8s %8.1f %8.1f (%3dk) %8.1f (%3dk) %9d\n",
 			prof.Name, fixed.Cmp.NetSavingsPct,

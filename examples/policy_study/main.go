@@ -9,7 +9,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"hotleakage/internal/decay"
 	"hotleakage/internal/leakage"
@@ -18,7 +20,15 @@ import (
 	"hotleakage/internal/workload"
 )
 
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
+	ctx := context.Background()
 	mc := sim.DefaultMachine(11)
 	mc.Warmup = 150_000
 	mc.Instructions = 400_000
@@ -36,8 +46,8 @@ func main() {
 		for _, pol := range []decay.Policy{decay.PolicyNoAccess, decay.PolicySimple} {
 			params := leakctl.DefaultParams(leakctl.TechDrowsy, sim.DefaultInterval)
 			params.Policy = pol
-			run := sim.RunOne(mc, prof, params, nil)
-			row[pol] = suite.EvaluateRun(prof, run, 110, model)
+			run := must(sim.RunOne(ctx, mc, prof, params, nil))
+			row[pol] = must(suite.EvaluateRun(ctx, prof, run, 110, model))
 		}
 		na, si := row[decay.PolicyNoAccess], row[decay.PolicySimple]
 		fmt.Printf("%-8s | %7.1f %6.2f %6.1f | %7.1f %6.2f %6.1f\n",

@@ -6,7 +6,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"hotleakage/internal/leakage"
 	"hotleakage/internal/leakctl"
@@ -14,7 +16,15 @@ import (
 	"hotleakage/internal/workload"
 )
 
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
+	ctx := context.Background()
 	// The Table 2 machine with an on-chip 11-cycle L2.
 	mc := sim.DefaultMachine(11)
 	mc.Warmup = 200_000
@@ -27,13 +37,13 @@ func main() {
 	fmt.Printf("benchmark %s, %v, L2 hit latency %d cycles, decay interval %d\n\n",
 		prof.Name, mc.Tech.Node, mc.L2.HitLatency, sim.DefaultInterval)
 
-	base := suite.Baseline(prof)
+	base := must(suite.Baseline(ctx, prof))
 	fmt.Printf("baseline: IPC %.2f, D-L1 miss %.2f%%\n\n", base.CPU.IPC(),
 		100*float64(base.DStats.Misses)/float64(base.DStats.Accesses))
 
 	for _, tq := range []leakctl.Technique{leakctl.TechDrowsy, leakctl.TechGated, leakctl.TechRBB} {
 		params := leakctl.DefaultParams(tq, sim.DefaultInterval)
-		p := suite.Evaluate(prof, params, 110, model)
+		p := must(suite.Evaluate(ctx, prof, params, 110, model))
 		r := p.Run
 		fmt.Printf("%-10s net savings %5.1f%%  perf loss %4.2f%%  turnoff %4.1f%%\n",
 			tq, p.Cmp.NetSavingsPct, p.Cmp.PerfLossPct, 100*p.Cmp.TurnoffRatio)

@@ -9,7 +9,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"hotleakage/internal/leakage"
 	"hotleakage/internal/leakctl"
@@ -17,7 +19,15 @@ import (
 	"hotleakage/internal/workload"
 )
 
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
+	ctx := context.Background()
 	mc := sim.DefaultMachine(11)
 	mc.Warmup = 150_000
 	mc.Instructions = 400_000
@@ -32,16 +42,16 @@ func main() {
 		prof, _ := workload.ByName(bench)
 		runs := map[leakctl.Technique]sim.RunResult{}
 		for _, tq := range []leakctl.Technique{leakctl.TechDrowsy, leakctl.TechGated} {
-			runs[tq] = sim.RunOne(mc, prof, leakctl.DefaultParams(tq, sim.DefaultInterval), nil)
+			runs[tq] = must(sim.RunOne(ctx, mc, prof, leakctl.DefaultParams(tq, sim.DefaultInterval), nil))
 		}
 		fmt.Printf("%s — net leakage savings %% by temperature (L2=11, interval %d)\n",
 			bench, sim.DefaultInterval)
 		fmt.Printf("%8s %10s %10s   %s\n", "temp C", "drowsy", "gated-vss", "D-cache leak mW")
 		for _, tc := range temps {
-			d := suite.EvaluateRun(prof, runs[leakctl.TechDrowsy], tc, model)
-			g := suite.EvaluateRun(prof, runs[leakctl.TechGated], tc, model)
+			d := must(suite.EvaluateRun(ctx, prof, runs[leakctl.TechDrowsy], tc, model))
+			g := must(suite.EvaluateRun(ctx, prof, runs[leakctl.TechGated], tc, model))
 			// Baseline cache leakage power at this temperature.
-			leakW := d.Cmp.BaseLeakJ / (float64(suite.Baseline(prof).CPU.Cycles) / mc.Tech.ClockHz)
+			leakW := d.Cmp.BaseLeakJ / (float64(must(suite.Baseline(ctx, prof)).CPU.Cycles) / mc.Tech.ClockHz)
 			fmt.Printf("%8.0f %10.1f %10.1f   %.1f\n",
 				tc, d.Cmp.NetSavingsPct, g.Cmp.NetSavingsPct, 1e3*leakW)
 		}

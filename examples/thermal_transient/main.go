@@ -11,7 +11,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math"
 
 	"hotleakage/internal/energy"
@@ -21,7 +23,15 @@ import (
 	"hotleakage/internal/workload"
 )
 
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
+	ctx := context.Background()
 	mc := sim.DefaultMachine(11)
 	mc.Warmup = 150_000
 	mc.Instructions = 400_000
@@ -29,10 +39,10 @@ func main() {
 	model := leakage.New(mc.Tech)
 
 	prof, _ := workload.ByName("gcc")
-	base := suite.Baseline(prof)
+	base := must(suite.Baseline(ctx, prof))
 	runs := map[leakctl.Technique]sim.RunResult{
-		leakctl.TechDrowsy: sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechDrowsy, sim.DefaultInterval), nil),
-		leakctl.TechGated:  sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), nil),
+		leakctl.TechDrowsy: must(sim.RunOne(ctx, mc, prof, leakctl.DefaultParams(leakctl.TechDrowsy, sim.DefaultInterval), nil)),
+		leakctl.TechGated:  must(sim.RunOne(ctx, mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), nil)),
 	}
 
 	// First-order heating: T(t) = Tss - (Tss-T0) * exp(-t/tau). The run

@@ -1,6 +1,7 @@
 package adaptive
 
 import (
+	"context"
 	"testing"
 
 	"hotleakage/internal/leakctl"
@@ -23,10 +24,16 @@ func TestFeedbackImprovesGatedOnLongReuseBenchmark(t *testing.T) {
 	mc.Instructions = 400_000
 	prof, _ := workload.ByName("crafty")
 
-	fixed := sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), nil)
+	fixed, err := sim.RunOne(context.Background(), mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	ctl := NewFeedback(sim.DefaultInterval, 8)
-	adaptive := sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), ctl)
+	adaptive, err := sim.RunOne(context.Background(), mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if ctl.Interval() <= sim.DefaultInterval {
 		t.Fatalf("controller did not raise the interval: %d", ctl.Interval())
@@ -52,7 +59,9 @@ func TestFeedbackLeavesShortReuseBenchmarkAlone(t *testing.T) {
 	mc.Instructions = 400_000
 	prof, _ := workload.ByName("gcc")
 	ctl := NewFeedback(sim.DefaultInterval, 8)
-	sim.RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), ctl)
+	if _, err := sim.RunOne(context.Background(), mc, prof, leakctl.DefaultParams(leakctl.TechGated, sim.DefaultInterval), ctl); err != nil {
+		t.Fatal(err)
+	}
 	if ctl.Interval() > 4*sim.DefaultInterval {
 		t.Fatalf("controller overreacted on gcc: interval %d", ctl.Interval())
 	}

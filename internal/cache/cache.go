@@ -153,11 +153,15 @@ type Cache struct {
 	useStamp  uint64
 }
 
-// New builds a cache level on top of next. It panics on an invalid
-// configuration (construction happens at setup time with static configs).
-func New(p *tech.Params, cfg Config, next Level) *Cache {
+// New builds a cache level on top of next. An invalid configuration is
+// reported as an error before any simulation state is built, so a bad
+// machine description fails one run instead of panicking a whole suite.
+func New(p *tech.Params, cfg Config, next Level) (*Cache, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	sets := cfg.Sets()
 	return &Cache{
@@ -168,7 +172,17 @@ func New(p *tech.Params, cfg Config, next Level) *Cache {
 		assoc:     cfg.Assoc,
 		setMask:   uint64(sets - 1),
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+	}, nil
+}
+
+// MustNew is New for static configuration known to be valid (tests,
+// examples); it panics on error.
+func MustNew(p *tech.Params, cfg Config, next Level) *Cache {
+	c, err := New(p, cfg, next)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // Name implements Level.

@@ -40,7 +40,7 @@ func TestConfigSets(t *testing.T) {
 
 func TestHitAfterMiss(t *testing.T) {
 	mem := NewMemory(p70(), 100)
-	c := New(p70(), tinyCfg(), mem)
+	c := MustNew(p70(), tinyCfg(), mem)
 	addr := uint64(0x1000)
 	lat := c.Access(addr, false, 1)
 	if lat != 2+100 {
@@ -55,7 +55,7 @@ func TestHitAfterMiss(t *testing.T) {
 }
 
 func TestSameLineDifferentWordsHit(t *testing.T) {
-	c := New(p70(), tinyCfg(), NewMemory(p70(), 100))
+	c := MustNew(p70(), tinyCfg(), NewMemory(p70(), 100))
 	c.Access(0x1000, false, 1)
 	if lat := c.Access(0x1038, false, 2); lat != 2 {
 		t.Fatalf("same-line access missed: %d", lat)
@@ -63,7 +63,7 @@ func TestSameLineDifferentWordsHit(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New(p70(), tinyCfg(), NewMemory(p70(), 100))
+	c := MustNew(p70(), tinyCfg(), NewMemory(p70(), 100))
 	// 8 sets, 2 ways. Three lines in the same set: the least recently
 	// used must be evicted.
 	set0 := func(i uint64) uint64 { return i * 8 * 64 } // same set index 0
@@ -81,7 +81,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestWritebackDirtyVictim(t *testing.T) {
 	mem := NewMemory(p70(), 100)
-	c := New(p70(), tinyCfg(), mem)
+	c := MustNew(p70(), tinyCfg(), mem)
 	set0 := func(i uint64) uint64 { return i * 8 * 64 }
 	c.Access(set0(1), true, 1) // dirty
 	c.Access(set0(2), false, 2)
@@ -96,7 +96,7 @@ func TestWritebackDirtyVictim(t *testing.T) {
 }
 
 func TestWriteAllocates(t *testing.T) {
-	c := New(p70(), tinyCfg(), NewMemory(p70(), 100))
+	c := MustNew(p70(), tinyCfg(), NewMemory(p70(), 100))
 	c.Access(0x2000, true, 1)
 	if !c.Contains(0x2000) {
 		t.Fatal("write did not allocate")
@@ -105,8 +105,8 @@ func TestWriteAllocates(t *testing.T) {
 
 func TestHierarchyLatency(t *testing.T) {
 	mem := NewMemory(p70(), 100)
-	l2 := New(p70(), Config{Name: "l2", SizeBytes: 4096, LineBytes: 64, Assoc: 2, HitLatency: 11}, mem)
-	l1 := New(p70(), tinyCfg(), l2)
+	l2 := MustNew(p70(), Config{Name: "l2", SizeBytes: 4096, LineBytes: 64, Assoc: 2, HitLatency: 11}, mem)
+	l1 := MustNew(p70(), tinyCfg(), l2)
 	// Cold: L1 miss + L2 miss + memory.
 	if lat := l1.Access(0x4000, false, 1); lat != 2+11+100 {
 		t.Fatalf("cold latency = %d, want 113", lat)
@@ -126,7 +126,7 @@ func TestHierarchyLatency(t *testing.T) {
 
 func TestFlush(t *testing.T) {
 	mem := NewMemory(p70(), 100)
-	c := New(p70(), tinyCfg(), mem)
+	c := MustNew(p70(), tinyCfg(), mem)
 	c.Access(0x1000, true, 1)
 	c.Access(0x2000, false, 2)
 	c.Flush(3)
@@ -139,7 +139,7 @@ func TestFlush(t *testing.T) {
 }
 
 func TestEnergyAccumulates(t *testing.T) {
-	c := New(p70(), tinyCfg(), NewMemory(p70(), 100))
+	c := MustNew(p70(), tinyCfg(), NewMemory(p70(), 100))
 	c.Access(0x1000, false, 1)
 	j1 := c.DynJ
 	c.Access(0x1000, false, 2)
@@ -149,7 +149,7 @@ func TestEnergyAccumulates(t *testing.T) {
 }
 
 func TestResetStats(t *testing.T) {
-	c := New(p70(), tinyCfg(), NewMemory(p70(), 100))
+	c := MustNew(p70(), tinyCfg(), NewMemory(p70(), 100))
 	c.Access(0x1000, false, 1)
 	c.ResetStats()
 	if c.Stats.Accesses != 0 || c.DynJ != 0 {
@@ -183,7 +183,7 @@ func TestMissRate(t *testing.T) {
 
 func TestIndexRoundTrip(t *testing.T) {
 	// Property: set/tag decomposition is injective per line address.
-	c := New(p70(), Config{Name: "p", SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 2, HitLatency: 1}, nil)
+	c := MustNew(p70(), Config{Name: "p", SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 2, HitLatency: 1}, nil)
 	f := func(a, b uint64) bool {
 		a &= (1 << 40) - 1
 		b &= (1 << 40) - 1
@@ -201,7 +201,7 @@ func TestIndexRoundTrip(t *testing.T) {
 
 func TestContainsConsistencyProperty(t *testing.T) {
 	// Property: immediately after any access, the line is resident.
-	c := New(p70(), tinyCfg(), NewMemory(p70(), 100))
+	c := MustNew(p70(), tinyCfg(), NewMemory(p70(), 100))
 	cycle := uint64(0)
 	f := func(addr uint64, write bool) bool {
 		cycle++
@@ -214,11 +214,17 @@ func TestContainsConsistencyProperty(t *testing.T) {
 	}
 }
 
-func TestInvalidConfigPanics(t *testing.T) {
+func TestInvalidConfigIsAnError(t *testing.T) {
+	if _, err := New(p70(), Config{Name: "bad"}, nil); err == nil {
+		t.Fatal("New with invalid config returned no error")
+	}
+	if _, err := New(nil, tinyCfg(), nil); err == nil {
+		t.Fatal("New with nil tech params returned no error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("New with invalid config did not panic")
+			t.Fatal("MustNew with invalid config did not panic")
 		}
 	}()
-	New(p70(), Config{Name: "bad"}, nil)
+	MustNew(p70(), Config{Name: "bad"}, nil)
 }

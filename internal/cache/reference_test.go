@@ -55,7 +55,7 @@ func (r *refCache) access(addr uint64) bool {
 
 func TestCacheMatchesReferenceModel(t *testing.T) {
 	cfg := Config{Name: "ref", SizeBytes: 4096, LineBytes: 64, Assoc: 4, HitLatency: 1}
-	c := New(p70(), cfg, NewMemory(p70(), 10))
+	c := MustNew(p70(), cfg, NewMemory(p70(), 10))
 	ref := newRef(cfg)
 	rng := stats.NewRNG(99)
 

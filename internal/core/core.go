@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hotleakage/internal/leakage"
@@ -59,6 +60,12 @@ type Result struct {
 
 // CompareTechniques runs the comparison described by opts.
 func CompareTechniques(opts Options) (*Result, error) {
+	return CompareTechniquesContext(context.Background(), opts)
+}
+
+// CompareTechniquesContext is CompareTechniques under a caller-supplied
+// context: cancellation and deadlines stop the underlying simulations.
+func CompareTechniquesContext(ctx context.Context, opts Options) (*Result, error) {
 	prof, ok := workload.ByName(opts.Benchmark)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown benchmark %q (have %v)", opts.Benchmark, workload.Names())
@@ -91,12 +98,19 @@ func CompareTechniques(opts Options) (*Result, error) {
 	model := leakage.New(mc.Tech, mopts...)
 
 	res := &Result{Benchmark: prof.Name}
-	res.BaselineIPC = suite.Baseline(prof).CPU.IPC()
+	base, err := suite.Baseline(ctx, prof)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineIPC = base.CPU.IPC()
 	for _, tq := range opts.Techniques {
 		if tq == leakctl.TechNone {
 			continue
 		}
-		p := suite.Evaluate(prof, leakctl.DefaultParams(tq, opts.DecayInterval), opts.TempC, model)
+		p, err := suite.Evaluate(ctx, prof, leakctl.DefaultParams(tq, opts.DecayInterval), opts.TempC, model)
+		if err != nil {
+			return nil, err
+		}
 		res.Techniques = append(res.Techniques, TechniqueResult{
 			Technique:     tq,
 			NetSavingsPct: p.Cmp.NetSavingsPct,

@@ -13,6 +13,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"hotleakage/internal/bpred"
 	"hotleakage/internal/leakctl"
 	"hotleakage/internal/workload"
@@ -61,6 +63,25 @@ func DefaultConfig() Config {
 		MispredictPen: 3,
 		ScanLimit:     32,
 	}
+}
+
+// Validate rejects degenerate core configurations (zero-wide pipelines,
+// empty windows) that would deadlock or never commit an instruction.
+func (c Config) Validate() error {
+	if c.FetchWidth < 1 || c.DecodeWidth < 1 || c.IssueWidth < 1 || c.CommitWidth < 1 {
+		return fmt.Errorf("cpu: pipeline widths must be >= 1 (fetch %d, decode %d, issue %d, commit %d)",
+			c.FetchWidth, c.DecodeWidth, c.IssueWidth, c.CommitWidth)
+	}
+	if c.RUUSize < 1 || c.LSQSize < 1 {
+		return fmt.Errorf("cpu: window sizes must be >= 1 (RUU %d, LSQ %d)", c.RUUSize, c.LSQSize)
+	}
+	if c.IntALUs < 1 || c.MemPorts < 1 {
+		return fmt.Errorf("cpu: need at least one integer ALU and one memory port (ALUs %d, ports %d)", c.IntALUs, c.MemPorts)
+	}
+	if c.MSHRs < 0 || c.MispredictPen < 0 || c.ScanLimit < 0 {
+		return fmt.Errorf("cpu: negative MSHRs/penalty/scan limit")
+	}
+	return nil
 }
 
 // opLatency returns the execution latency of a non-memory op.

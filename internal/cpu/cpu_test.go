@@ -15,9 +15,9 @@ func p70() *tech.Params { return tech.MustByNode(tech.Node70) }
 // machine assembles a core over the standard small hierarchy for a profile.
 func machine(prof workload.Profile) *Core {
 	mem := cache.NewMemory(p70(), 100)
-	l2 := cache.New(p70(), cache.Config{Name: "l2", SizeBytes: 2 << 20, LineBytes: 64, Assoc: 2, HitLatency: 11, Banks: 8}, mem)
-	l1i := cache.New(p70(), cache.Config{Name: "il1", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, HitLatency: 1}, l2)
-	dl1 := leakctl.New(p70(), cache.Config{Name: "dl1", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, HitLatency: 2}, leakctl.DefaultParams(leakctl.TechNone, 0), l2)
+	l2 := cache.MustNew(p70(), cache.Config{Name: "l2", SizeBytes: 2 << 20, LineBytes: 64, Assoc: 2, HitLatency: 11, Banks: 8}, mem)
+	l1i := cache.MustNew(p70(), cache.Config{Name: "il1", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, HitLatency: 1}, l2)
+	dl1 := leakctl.MustNew(p70(), cache.Config{Name: "dl1", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, HitLatency: 2}, leakctl.DefaultParams(leakctl.TechNone, 0), l2)
 	return New(DefaultConfig(), workload.NewGenerator(prof), bpred.New(bpred.DefaultConfig()), l1i, dl1)
 }
 
@@ -168,9 +168,9 @@ func TestMSHRLimitThrottlesMisses(t *testing.T) {
 
 	run := func(mshrs int) float64 {
 		mem := cache.NewMemory(p70(), 100)
-		l2 := cache.New(p70(), cache.Config{Name: "l2", SizeBytes: 2 << 20, LineBytes: 64, Assoc: 2, HitLatency: 11, Banks: 8}, mem)
-		l1i := cache.New(p70(), cache.Config{Name: "il1", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, HitLatency: 1}, l2)
-		dl1 := leakctl.New(p70(), cache.Config{Name: "dl1", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, HitLatency: 2}, leakctl.DefaultParams(leakctl.TechNone, 0), l2)
+		l2 := cache.MustNew(p70(), cache.Config{Name: "l2", SizeBytes: 2 << 20, LineBytes: 64, Assoc: 2, HitLatency: 11, Banks: 8}, mem)
+		l1i := cache.MustNew(p70(), cache.Config{Name: "il1", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, HitLatency: 1}, l2)
+		dl1 := leakctl.MustNew(p70(), cache.Config{Name: "dl1", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, HitLatency: 2}, leakctl.DefaultParams(leakctl.TechNone, 0), l2)
 		cfg := DefaultConfig()
 		cfg.MSHRs = mshrs
 		c := New(cfg, workload.NewGenerator(prof), bpred.New(bpred.DefaultConfig()), l1i, dl1)
@@ -180,5 +180,26 @@ func TestMSHRLimitThrottlesMisses(t *testing.T) {
 	eight := run(8)
 	if eight <= one {
 		t.Fatalf("more MSHRs did not help a miss-heavy stream: 1->%.3f, 8->%.3f", one, eight)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.IssueWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero issue width validated")
+	}
+	bad = DefaultConfig()
+	bad.RUUSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero RUU validated")
+	}
+	bad = DefaultConfig()
+	bad.MSHRs = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative MSHRs validated")
 	}
 }

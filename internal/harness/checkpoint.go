@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Checkpoint is an append-only JSON-lines store of completed run results.
+// The first line is a header describing the configuration that produced
+// the results; each subsequent line is {"key": ..., "value": ...}. One
+// line is appended (and synced) per completed run, so an interrupted suite
+// loses at most the runs that were still in flight. A torn final line —
+// the process died mid-write — is discarded on load.
+type Checkpoint struct {
+	path   string
+	header json.RawMessage
+
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]json.RawMessage
+	loaded  int
+	lastErr error
+}
+
+// ckptLine is the on-disk framing of one checkpoint line.
+type ckptLine struct {
+	Header json.RawMessage `json:"header,omitempty"`
+	Key    string          `json:"key,omitempty"`
+	Value  json.RawMessage `json:"value,omitempty"`
+}
+
+// OpenCheckpoint opens path for checkpointing. header identifies the
+// configuration (run lengths, profile set): it is written to a fresh file
+// and, on resume, compared against the stored header so results simulated
+// under different settings are never silently reused — a mismatch is an
+// error.
+//
+// With resume false an existing file is truncated. With resume true its
+// entries are loaded (Lookup serves them), the file is compacted to drop
+// any torn tail, and subsequent appends extend it.
+func OpenCheckpoint(path string, header any, resume bool) (*Checkpoint, error) {
+	hdr, err := json.Marshal(header)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: marshal header: %w", err)
+	}
+	c := &Checkpoint{path: path, header: hdr, entries: make(map[string]json.RawMessage)}
+
+	if resume {
+		if err := c.load(); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+
+	// Rewrite header + surviving entries, then leave the file open for
+	// appends. This both initialises a fresh file and compacts a resumed
+	// one (dropping torn tails and duplicate keys).
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := writeLine(w, ckptLine{Header: c.header}); err == nil {
+		for key, val := range c.entries {
+			if err = writeLine(w, ckptLine{Key: key, Value: val}); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	c.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	c.loaded = len(c.entries)
+	return c, nil
+}
+
+// load reads an existing checkpoint file into c.entries, validating the
+// header. Unparseable lines terminate the scan (torn tail) rather than
+// failing the load; everything before them survives.
+func (c *Checkpoint) load() error {
+	f, err := os.Open(c.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var l ckptLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			break // torn tail: keep what we have
+		}
+		if first {
+			first = false
+			if l.Header == nil {
+				return fmt.Errorf("checkpoint %s: missing header line", c.path)
+			}
+			if !sameJSON(l.Header, c.header) {
+				return fmt.Errorf("checkpoint %s: written with different settings (%s) than this run (%s); delete it or match the flags",
+					c.path, l.Header, c.header)
+			}
+			continue
+		}
+		if l.Key != "" && l.Value != nil {
+			c.entries[l.Key] = l.Value
+		}
+	}
+	if first {
+		// Empty file: treat as fresh.
+		return nil
+	}
+	return nil
+}
+
+// sameJSON compares two JSON documents structurally (both are re-marshals
+// of Go values, so byte comparison after a decode/encode round-trip is
+// stable).
+func sameJSON(a, b json.RawMessage) bool {
+	var av, bv any
+	if json.Unmarshal(a, &av) != nil || json.Unmarshal(b, &bv) != nil {
+		return string(a) == string(b)
+	}
+	ab, errA := json.Marshal(av)
+	bb, errB := json.Marshal(bv)
+	return errA == nil && errB == nil && string(ab) == string(bb)
+}
+
+func writeLine(w *bufio.Writer, l ckptLine) error {
+	b, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// Lookup returns the stored raw value for key.
+func (c *Checkpoint) Lookup(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[key]
+	return v, ok
+}
+
+// Append records a completed result. The line is synced to disk before
+// returning so a crash immediately afterwards cannot lose it. Errors are
+// also retained for Err so callers polling at the end of a suite see a
+// degraded checkpoint.
+func (c *Checkpoint) Append(key string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		err = fmt.Errorf("checkpoint: marshal %s: %w", key, err)
+		c.mu.Lock()
+		c.lastErr = err
+		c.mu.Unlock()
+		return err
+	}
+	line, err := json.Marshal(ckptLine{Key: key, Value: b})
+	if err == nil {
+		line = append(line, '\n')
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err == nil {
+		_, err = c.f.Write(line)
+	}
+	if err == nil {
+		err = c.f.Sync()
+	}
+	if err != nil {
+		c.lastErr = fmt.Errorf("checkpoint: append %s: %w", key, err)
+		return c.lastErr
+	}
+	c.entries[key] = b
+	return nil
+}
+
+// Len returns the number of stored entries.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Loaded returns how many entries were recovered from disk at open time
+// (0 for a fresh checkpoint).
+func (c *Checkpoint) Loaded() int { return c.loaded }
+
+// Path returns the backing file path.
+func (c *Checkpoint) Path() string { return c.path }
+
+// Err returns the most recent append failure, if any.
+func (c *Checkpoint) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// Close closes the backing file. Further appends fail.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}

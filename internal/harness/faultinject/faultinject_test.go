@@ -1,0 +1,77 @@
+package faultinject
+
+import "testing"
+
+func TestDeterministicIsPureAndSeeded(t *testing.T) {
+	d := &Deterministic{Fault: FaultPanic, N: 4, Seed: 1}
+	// Purity: repeated decisions agree.
+	for i := 0; i < 3; i++ {
+		if d.Decide("gcc/11/2/4096", 0) != d.Decide("gcc/11/2/4096", 0) {
+			t.Fatal("decision not pure")
+		}
+	}
+	// Roughly 1/N of many keys are selected, and a different seed picks a
+	// different subset.
+	d2 := &Deterministic{Fault: FaultPanic, N: 4, Seed: 99}
+	hitsA, hitsB, differ := 0, 0, false
+	for i := 0; i < 400; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i%10)) + "/key"
+		a := d.Decide(key, 0) == FaultPanic
+		b := d2.Decide(key, 0) == FaultPanic
+		if a {
+			hitsA++
+		}
+		if b {
+			hitsB++
+		}
+		if a != b {
+			differ = true
+		}
+	}
+	if hitsA == 0 || hitsA == 400 || hitsB == 0 {
+		t.Fatalf("selection degenerate: %d/%d of 400", hitsA, hitsB)
+	}
+	if !differ {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestNonStickyOnlyFirstAttempt(t *testing.T) {
+	d := &Deterministic{Fault: FaultError, N: 1}
+	if d.Decide("k", 0) != FaultError {
+		t.Fatal("1/1 injector missed attempt 0")
+	}
+	if d.Decide("k", 1) != FaultNone {
+		t.Fatal("non-sticky fault fired on retry")
+	}
+	d.Sticky = true
+	if d.Decide("k", 1) != FaultError {
+		t.Fatal("sticky fault skipped retry")
+	}
+}
+
+func TestParse(t *testing.T) {
+	d, err := Parse("nan:1/4:seed=3:sticky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fault != FaultNaN || d.N != 4 || d.Seed != 3 || !d.Sticky {
+		t.Fatalf("parsed %+v", d)
+	}
+	for _, bad := range []string{"", "panic", "panic:2/3", "wat:1/3", "panic:1/0", "panic:1/3:wat"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+	if d, err := Parse("stall:1/8"); err != nil || d.Fault != FaultStall || d.Sticky {
+		t.Fatalf("Parse(stall:1/8) = %+v, %v", d, err)
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	for f, want := range map[Fault]string{FaultNone: "none", FaultPanic: "panic", FaultError: "error", FaultStall: "stall", FaultNaN: "nan"} {
+		if f.String() != want {
+			t.Fatalf("%d.String() = %q", int(f), f.String())
+		}
+	}
+}

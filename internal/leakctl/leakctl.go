@@ -95,6 +95,36 @@ type Params struct {
 	PerLineAdaptive bool
 }
 
+// Validate rejects impossible control parameters with descriptive errors.
+// The decay machinery divides the interval by four for its global counter,
+// so a non-zero interval below four cycles would never roll over; negative
+// settling or wake latencies are meaningless.
+func (p Params) Validate() error {
+	switch p.Technique {
+	case TechNone, TechDrowsy, TechGated, TechRBB:
+	default:
+		return fmt.Errorf("leakctl: unknown technique %d", int(p.Technique))
+	}
+	switch p.Policy {
+	case decay.PolicyNoAccess, decay.PolicySimple:
+	default:
+		return fmt.Errorf("leakctl: unknown decay policy %d", int(p.Policy))
+	}
+	if p.Interval != 0 && p.Interval < 4 {
+		return fmt.Errorf("leakctl: decay interval %d too short (need 0 or >= 4 cycles)", p.Interval)
+	}
+	if p.SettleSleep < 0 || p.SettleWake < 0 {
+		return fmt.Errorf("leakctl: negative settling times (sleep %d, wake %d)", p.SettleSleep, p.SettleWake)
+	}
+	if p.WakeLatency < 0 {
+		return fmt.Errorf("leakctl: negative wake latency %d", p.WakeLatency)
+	}
+	if p.PerLineAdaptive && p.Interval == 0 {
+		return fmt.Errorf("leakctl: per-line adaptive decay needs a non-zero base interval")
+	}
+	return nil
+}
+
 // DefaultParams returns the paper's configuration for a technique at the
 // given decay interval.
 func DefaultParams(t Technique, interval uint64) Params {
@@ -214,10 +244,17 @@ type DCache struct {
 }
 
 // New builds a controlled L1 D-cache over next. Technique TechNone with
-// Interval 0 is the baseline.
-func New(p *tech.Params, cfg cache.Config, params Params, next cache.Level) *DCache {
+// Interval 0 is the baseline. Invalid cache or control configurations are
+// reported as errors before any state is built.
+func New(p *tech.Params, cfg cache.Config, params Params, next cache.Level) (*DCache, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
 	}
 	sets := cfg.Sets()
 	nlines := sets * cfg.Assoc
@@ -246,6 +283,16 @@ func New(p *tech.Params, cfg cache.Config, params Params, next cache.Level) *DCa
 	}
 	d.lineShift = uint(ls)
 	d.tagShift = uint(ss)
+	return d, nil
+}
+
+// MustNew is New for static configuration known to be valid (tests,
+// examples); it panics on error.
+func MustNew(p *tech.Params, cfg cache.Config, params Params, next cache.Level) *DCache {
+	d, err := New(p, cfg, params, next)
+	if err != nil {
+		panic(err)
+	}
 	return d
 }
 

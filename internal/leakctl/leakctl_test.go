@@ -18,8 +18,8 @@ func smallCfg() cache.Config {
 // build makes a controlled cache over an 11-cycle L2 stub backed by memory.
 func build(t Technique, interval uint64) (*DCache, *cache.Cache) {
 	mem := cache.NewMemory(p70(), 100)
-	l2 := cache.New(p70(), cache.Config{Name: "l2", SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 2, HitLatency: 11}, mem)
-	d := New(p70(), smallCfg(), DefaultParams(t, interval), l2)
+	l2 := cache.MustNew(p70(), cache.Config{Name: "l2", SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 2, HitLatency: 11}, mem)
+	d := MustNew(p70(), smallCfg(), DefaultParams(t, interval), l2)
 	return d, l2
 }
 
@@ -301,10 +301,10 @@ func TestAdapterReprogramsInterval(t *testing.T) {
 
 func TestSimplePolicyCache(t *testing.T) {
 	mem := cache.NewMemory(p70(), 100)
-	l2 := cache.New(p70(), cache.Config{Name: "l2", SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 2, HitLatency: 11}, mem)
+	l2 := cache.MustNew(p70(), cache.Config{Name: "l2", SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 2, HitLatency: 11}, mem)
 	params := DefaultParams(TechDrowsy, 4096)
 	params.Policy = decay.PolicySimple
-	d := New(p70(), smallCfg(), params, l2)
+	d := MustNew(p70(), smallCfg(), params, l2)
 	// Keep touching one line every 100 cycles; the simple policy blankets
 	// it anyway at each interval.
 	for c := uint64(1); c < 10000; c += 100 {
@@ -375,5 +375,29 @@ func TestWritesDirtyStandbyDrowsyVictimWritesBack(t *testing.T) {
 	}
 	if l2.Stats.Accesses <= l2w {
 		t.Fatal("dirty drowsy victim never reached L2")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	for _, tq := range []Technique{TechNone, TechDrowsy, TechGated, TechRBB} {
+		if err := DefaultParams(tq, 4096).Validate(); err != nil {
+			t.Fatalf("default %s params invalid: %v", tq, err)
+		}
+	}
+	cases := []Params{
+		{Technique: Technique(99)},
+		{Technique: TechDrowsy, Policy: decay.Policy(7)},
+		{Technique: TechDrowsy, Interval: 2},
+		{Technique: TechDrowsy, Interval: 4096, SettleSleep: -1},
+		{Technique: TechDrowsy, Interval: 4096, WakeLatency: -3},
+		{Technique: TechGated, PerLineAdaptive: true},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%+v) validated", i, p)
+		}
+	}
+	if _, err := New(p70(), smallCfg(), Params{Technique: Technique(99)}, nil); err == nil {
+		t.Fatal("New accepted invalid params")
 	}
 }

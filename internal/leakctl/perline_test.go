@@ -6,7 +6,7 @@ import "testing"
 // standard test hierarchy (11-cycle L2 + memory).
 func buildParams(p Params) *DCache {
 	plain, _ := build(p.Technique, p.Interval)
-	return New(p70(), plain.Cfg, p, plain.Next)
+	return MustNew(p70(), plain.Cfg, p, plain.Next)
 }
 
 func TestPerLineAdaptivePromotesOnInducedMiss(t *testing.T) {

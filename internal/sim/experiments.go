@@ -1,14 +1,19 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"hotleakage/internal/harness"
+	"hotleakage/internal/harness/faultinject"
 	"hotleakage/internal/leakage"
 	"hotleakage/internal/leakctl"
-	"hotleakage/internal/stats"
 	"hotleakage/internal/workload"
 )
 
@@ -22,10 +27,30 @@ const DefaultInterval = 4096
 // (Figures 12-13 and Table 3).
 var SweepIntervals = []uint64{1024, 2048, 4096, 8192, 16384, 32768, 65536}
 
+// checkpointVersion is bumped whenever the simulator changes in a way that
+// invalidates previously checkpointed RunResults.
+const checkpointVersion = 1
+
+// ckptHeader fingerprints the configuration a checkpoint was produced
+// under. Resuming against a mismatched header is refused, so results from
+// a different -n/-warmup are never silently reused.
+type ckptHeader struct {
+	Version      int    `json:"version"`
+	Instructions uint64 `json:"instructions"`
+	Warmup       uint64 `json:"warmup"`
+}
+
 // Experiments runs and caches every simulation the paper's figures need.
 // Timing runs are cached by (benchmark, L2 latency, technique, interval),
 // so the 85C and 110C variants of a figure reuse one run, and Table 3
 // shares the sweep with Figures 12-13.
+//
+// Every simulation is executed under the harness supervisor: panics are
+// recovered into structured failures, per-run deadlines and suite-wide
+// cancellation are enforced, transient failures retry with backoff, and
+// completed runs are checkpointed. A failed run degrades to an ERR cell in
+// the affected figures instead of aborting the suite; Failures and
+// FailureSummary report what went wrong.
 type Experiments struct {
 	// Instructions / Warmup configure run length (committed instructions).
 	Instructions uint64
@@ -37,9 +62,31 @@ type Experiments struct {
 	// Parallel enables concurrent simulation across runs.
 	Parallel bool
 
-	mu     sync.Mutex
-	suites map[int]*Suite // per L2 latency
-	runs   map[string]RunResult
+	// Ctx, when non-nil, cancels the whole suite (SIGINT handling in the
+	// commands). In-flight runs drain as Canceled failures; completed
+	// results are kept.
+	Ctx context.Context
+	// RunTimeout is the per-run deadline (0 = none).
+	RunTimeout time.Duration
+	// MaxRetries is how many times a transiently failed run is re-executed
+	// (capped exponential backoff between attempts).
+	MaxRetries int
+	// Injector, when non-nil, injects faults into runs (testing only).
+	Injector faultinject.Injector
+	// CheckpointPath, when non-empty, appends each completed run to a
+	// JSON-lines file; Resume loads it first so only missing runs execute.
+	CheckpointPath string
+	Resume         bool
+
+	mu       sync.Mutex
+	suites   map[int]*Suite // per L2 latency
+	runs     map[string]RunResult
+	failures map[string]*harness.RunError
+	sup      *harness.Supervisor[RunResult]
+	ckpt     *harness.Checkpoint
+	supErr   error
+	executed int // runs actually simulated this process
+	resumed  int // runs restored from the checkpoint
 }
 
 // NewExperiments returns the paper's experiment set at reduced scale
@@ -53,12 +100,24 @@ func NewExperiments() *Experiments {
 		Parallel:     true,
 		suites:       make(map[int]*Suite),
 		runs:         make(map[string]RunResult),
+		failures:     make(map[string]*harness.RunError),
 	}
+}
+
+func (e *Experiments) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
 }
 
 func (e *Experiments) suite(l2 int) *Suite {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.suiteLocked(l2)
+}
+
+func (e *Experiments) suiteLocked(l2 int) *Suite {
 	s, ok := e.suites[l2]
 	if !ok {
 		mc := DefaultMachine(l2)
@@ -74,64 +133,298 @@ func runKey(bench string, l2 int, t leakctl.Technique, interval uint64) string {
 	return fmt.Sprintf("%s/%d/%d/%d", bench, l2, t, interval)
 }
 
-// run returns the (cached) timing run for one configuration.
-func (e *Experiments) run(prof workload.Profile, l2 int, t leakctl.Technique, interval uint64) RunResult {
+// Init eagerly builds the supervisor (opening the checkpoint file if one
+// is configured) so commands fail fast on an unusable checkpoint instead
+// of discovering it after the first simulated run.
+func (e *Experiments) Init() error {
+	_, err := e.supervisor()
+	return err
+}
+
+// supervisor lazily builds the shared supervisor and checkpoint.
+func (e *Experiments) supervisor() (*harness.Supervisor[RunResult], error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sup != nil || e.supErr != nil {
+		return e.sup, e.supErr
+	}
+	var ckpt *harness.Checkpoint
+	if e.CheckpointPath != "" {
+		var err error
+		ckpt, err = harness.OpenCheckpoint(e.CheckpointPath,
+			ckptHeader{Version: checkpointVersion, Instructions: e.Instructions, Warmup: e.Warmup},
+			e.Resume)
+		if err != nil {
+			e.supErr = err
+			return nil, err
+		}
+		e.ckpt = ckpt
+	}
+	workers := 1
+	if e.Parallel {
+		workers = 8
+	}
+	e.sup = harness.New(harness.Config[RunResult]{
+		Workers:    workers,
+		Timeout:    e.RunTimeout,
+		MaxRetries: e.MaxRetries,
+		Injector:   e.Injector,
+		Checkpoint: ckpt,
+		Check:      checkRun,
+	})
+	return e.sup, nil
+}
+
+// checkRun rejects results with non-finite energies before they are
+// accepted (and before they would poison the JSON checkpoint); the
+// supervisor treats the rejection as a retryable failure.
+func checkRun(r RunResult) error {
+	for _, v := range []float64{
+		r.Measurement.DCacheDynJ, r.Measurement.L2DynJ, r.Measurement.MemDynJ,
+		r.Measurement.ICacheDynJ, r.Measurement.ClockJ,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("non-finite energy in result for %s", r.Bench)
+		}
+	}
+	if r.CPU.Cycles == 0 {
+		return fmt.Errorf("zero-cycle result for %s", r.Bench)
+	}
+	return nil
+}
+
+// runSpec names one simulation the supervisor should produce.
+type runSpec struct {
+	prof     workload.Profile
+	l2       int
+	tech     leakctl.Technique
+	interval uint64
+}
+
+func (sp runSpec) key() string { return runKey(sp.prof.Name, sp.l2, sp.tech, sp.interval) }
+
+// jobFor wraps a spec as a supervised job. The run honours the per-attempt
+// context (deadline + suite cancellation); validation failures are marked
+// Permanent so they are not retried. FaultNaN injection happens here — the
+// generic supervisor cannot corrupt a RunResult, so the job corrupts its
+// own energy figure and the Check hook catches it.
+func (e *Experiments) jobFor(sp runSpec) harness.Job[RunResult] {
+	key := sp.key()
+	s := e.suite(sp.l2)
+	return harness.Job[RunResult]{
+		Key:       key,
+		Benchmark: sp.prof.Name,
+		Technique: sp.tech.String(),
+		Run: func(ctx context.Context) (RunResult, error) {
+			params := leakctl.DefaultParams(sp.tech, sp.interval)
+			r, err := RunOne(ctx, s.MC, sp.prof, params, nil)
+			if err != nil {
+				if errors.Is(err, ErrInvalidConfig) {
+					return RunResult{}, harness.Permanent(err)
+				}
+				return RunResult{}, err
+			}
+			if e.Injector != nil &&
+				e.Injector.Decide(key, harness.Attempt(ctx)) == faultinject.FaultNaN {
+				r.Measurement.DCacheDynJ = math.NaN()
+			}
+			return r, nil
+		},
+	}
+}
+
+// runSpecs executes the given configurations under the supervisor,
+// recording results and failures. Specs already resolved (cached or
+// failed) are skipped; failed keys are not retried again within this
+// process — the memo is what makes `-resume` re-execute only missing runs.
+func (e *Experiments) runSpecs(specs []runSpec) error {
+	sup, err := e.supervisor()
+	if err != nil {
+		return err
+	}
+
+	e.mu.Lock()
+	var pending []runSpec
+	seen := make(map[string]bool)
+	for _, sp := range specs {
+		k := sp.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := e.runs[k]; ok {
+			continue
+		}
+		if _, failed := e.failures[k]; failed {
+			continue
+		}
+		pending = append(pending, sp)
+	}
+	e.mu.Unlock()
+	if len(pending) == 0 {
+		return nil
+	}
+
+	jobs := make([]harness.Job[RunResult], len(pending))
+	for i, sp := range pending {
+		jobs[i] = e.jobFor(sp)
+	}
+	results := sup.Run(e.ctx(), jobs)
+
+	type seed struct {
+		l2   int
+		name string
+		r    RunResult
+	}
+	var seeds []seed
+	e.mu.Lock()
+	for i, res := range results {
+		sp := pending[i]
+		if res.Err != nil {
+			e.failures[res.Key] = res.Err
+			continue
+		}
+		e.runs[res.Key] = res.Value
+		if res.FromCheckpoint {
+			e.resumed++
+		} else {
+			e.executed++
+		}
+		if sp.tech == leakctl.TechNone {
+			seeds = append(seeds, seed{sp.l2, sp.prof.Name, res.Value})
+		}
+	}
+	e.mu.Unlock()
+	// Seed baselines outside the lock (suite() takes it too).
+	for _, sd := range seeds {
+		e.suite(sd.l2).SetBaseline(sd.name, sd.r)
+	}
+	return nil
+}
+
+// run returns the (cached) timing run for one configuration, executing it
+// under the supervisor on first use. A previously failed run returns its
+// memoized failure instead of re-executing.
+func (e *Experiments) run(prof workload.Profile, l2 int, t leakctl.Technique, interval uint64) (RunResult, error) {
 	key := runKey(prof.Name, l2, t, interval)
 	e.mu.Lock()
-	if r, ok := e.runs[key]; ok {
-		e.mu.Unlock()
-		return r
-	}
+	r, ok := e.runs[key]
+	fe, failed := e.failures[key]
 	e.mu.Unlock()
-
-	s := e.suite(l2)
-	var r RunResult
-	if t == leakctl.TechNone {
-		r = s.Baseline(prof)
-	} else {
-		r = RunOne(s.MC, prof, leakctl.DefaultParams(t, interval), nil)
+	if ok {
+		return r, nil
+	}
+	if failed {
+		return RunResult{}, fe
+	}
+	if err := e.runSpecs([]runSpec{{prof, l2, t, interval}}); err != nil {
+		return RunResult{}, err
 	}
 	e.mu.Lock()
-	e.runs[key] = r
-	e.mu.Unlock()
-	return r
+	defer e.mu.Unlock()
+	if r, ok := e.runs[key]; ok {
+		return r, nil
+	}
+	if fe, failed := e.failures[key]; failed {
+		return RunResult{}, fe
+	}
+	return RunResult{}, fmt.Errorf("run %s produced no result", key)
 }
 
 // prefetch simulates a set of configurations concurrently so later cached
-// lookups are cheap. Baselines are simulated first (they are shared).
+// lookups are cheap. Baselines run first (they are shared across every
+// technique comparison). Individual failures are memoized, not fatal.
 func (e *Experiments) prefetch(l2 int, techs []leakctl.Technique, intervals []uint64) {
-	var wg sync.WaitGroup
-	par := 1
-	if e.Parallel {
-		par = 8
-	}
-	sem := make(chan struct{}, par)
+	specs := make([]runSpec, 0, len(e.Profiles))
 	for _, prof := range e.Profiles {
-		prof := prof
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			e.run(prof, l2, leakctl.TechNone, 0)
-		}()
+		specs = append(specs, runSpec{prof, l2, leakctl.TechNone, 0})
 	}
-	wg.Wait()
+	_ = e.runSpecs(specs)
+	specs = specs[:0]
 	for _, prof := range e.Profiles {
 		for _, t := range techs {
 			for _, iv := range intervals {
-				prof, t, iv := prof, t, iv
-				wg.Add(1)
-				sem <- struct{}{}
-				go func() {
-					defer wg.Done()
-					defer func() { <-sem }()
-					e.run(prof, l2, t, iv)
-				}()
+				specs = append(specs, runSpec{prof, l2, t, iv})
 			}
 		}
 	}
-	wg.Wait()
+	_ = e.runSpecs(specs)
+}
+
+// Failures returns the structured failure record of every run that could
+// not be completed, sorted by key for stable reporting.
+func (e *Experiments) Failures() []*harness.RunError {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*harness.RunError, 0, len(e.failures))
+	for _, f := range e.failures {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// FailureSummary renders the failed runs as a human-readable block, or ""
+// when every run completed. Commands print it and exit non-zero.
+func (e *Experiments) FailureSummary() string {
+	fails := e.Failures()
+	if len(fails) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d run(s) failed:\n", len(fails))
+	for _, f := range fails {
+		fmt.Fprintf(&b, "  %s\n", f.Error())
+		if f.Panic != "" {
+			// First stack line is enough to locate the fault; the full
+			// trace stays in the structured record.
+			if i := strings.IndexByte(f.Stack, '\n'); i > 0 {
+				fmt.Fprintf(&b, "    %s\n", f.Stack[:i])
+			}
+		}
+	}
+	return b.String()
+}
+
+// Executed returns how many runs were actually simulated by this process;
+// Resumed returns how many were restored from the checkpoint instead.
+func (e *Experiments) Executed() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.executed
+}
+
+// Resumed returns the number of runs served from the checkpoint file.
+func (e *Experiments) Resumed() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.resumed
+}
+
+// Err surfaces checkpoint trouble: a failed open (also returned by Init)
+// or any append failure during the suite.
+func (e *Experiments) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.supErr != nil {
+		return e.supErr
+	}
+	if e.ckpt != nil {
+		return e.ckpt.Err()
+	}
+	return nil
+}
+
+// Close releases the checkpoint file, if one was opened.
+func (e *Experiments) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ckpt == nil {
+		return nil
+	}
+	err := e.ckpt.Close()
+	e.ckpt = nil
+	return err
 }
 
 // model builds a fresh leakage model (with the configured variation).
@@ -146,7 +439,9 @@ type Cell struct {
 }
 
 // Figure is one reproduced figure: per-benchmark series for drowsy and
-// gated-Vss plus their averages, for one metric.
+// gated-Vss plus their averages, for one metric. A cell whose run failed
+// is flagged in DrowsyErr/GatedErr: it renders as ERR and is excluded from
+// the averages, so one lost run does not take the whole figure down.
 type Figure struct {
 	ID     string
 	Title  string
@@ -154,11 +449,58 @@ type Figure struct {
 	Bench  []string
 	Drowsy []float64
 	Gated  []float64
+	// DrowsyErr/GatedErr mark failed cells (nil when every run
+	// completed; indexes parallel Bench).
+	DrowsyErr []bool
+	GatedErr  []bool
 }
 
-// Avg returns the arithmetic means of the two series.
+// errAt reports whether cell i of a (possibly nil) error slice failed.
+func errAt(errs []bool, i int) bool { return i < len(errs) && errs[i] }
+
+// meanSkipping averages vals, excluding cells flagged in errs.
+func meanSkipping(vals []float64, errs []bool) float64 {
+	var sum float64
+	n := 0
+	for i, v := range vals {
+		if errAt(errs, i) {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Avg returns the arithmetic means of the two series, skipping failed
+// cells.
 func (f Figure) Avg() (drowsy, gated float64) {
-	return stats.Mean(f.Drowsy), stats.Mean(f.Gated)
+	return meanSkipping(f.Drowsy, f.DrowsyErr), meanSkipping(f.Gated, f.GatedErr)
+}
+
+// FailedCells counts cells flagged as failed across both series.
+func (f Figure) FailedCells() int {
+	n := 0
+	for i := range f.Bench {
+		if errAt(f.DrowsyErr, i) {
+			n++
+		}
+		if errAt(f.GatedErr, i) {
+			n++
+		}
+	}
+	return n
+}
+
+// csvCell renders one CSV value, or ERR for a failed cell.
+func csvCell(v float64, failed bool) string {
+	if failed {
+		return "ERR"
+	}
+	return fmt.Sprintf("%.4f", v)
 }
 
 // CSV renders the figure as RFC-4180-ish comma-separated rows
@@ -167,11 +509,21 @@ func (f Figure) CSV() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "benchmark,drowsy,gated-vss\n")
 	for i, n := range f.Bench {
-		fmt.Fprintf(&b, "%s,%.4f,%.4f\n", n, f.Drowsy[i], f.Gated[i])
+		fmt.Fprintf(&b, "%s,%s,%s\n", n,
+			csvCell(f.Drowsy[i], errAt(f.DrowsyErr, i)),
+			csvCell(f.Gated[i], errAt(f.GatedErr, i)))
 	}
 	ad, ag := f.Avg()
 	fmt.Fprintf(&b, "AVG,%.4f,%.4f\n", ad, ag)
 	return b.String()
+}
+
+// tableCell renders one aligned table value, or ERR for a failed cell.
+func tableCell(v float64, failed bool) string {
+	if failed {
+		return "ERR"
+	}
+	return fmt.Sprintf("%.2f", v)
 }
 
 // String renders the figure as an aligned text table, the harness's
@@ -181,15 +533,38 @@ func (f Figure) String() string {
 	fmt.Fprintf(&b, "%s — %s [%s]\n", f.ID, f.Title, f.Metric)
 	fmt.Fprintf(&b, "%-8s %10s %10s\n", "bench", "drowsy", "gated-vss")
 	for i, n := range f.Bench {
-		fmt.Fprintf(&b, "%-8s %10.2f %10.2f\n", n, f.Drowsy[i], f.Gated[i])
+		fmt.Fprintf(&b, "%-8s %10s %10s\n", n,
+			tableCell(f.Drowsy[i], errAt(f.DrowsyErr, i)),
+			tableCell(f.Gated[i], errAt(f.GatedErr, i)))
 	}
 	ad, ag := f.Avg()
 	fmt.Fprintf(&b, "%-8s %10.2f %10.2f\n", "AVG", ad, ag)
 	return b.String()
 }
 
+// evalCell evaluates one (benchmark, technique, interval) cell, reporting
+// failure if the technique run or the shared baseline could not be
+// produced.
+func (e *Experiments) evalCell(s *Suite, m *leakage.Model, prof workload.Profile, l2 int, t leakctl.Technique, iv uint64, tempC float64) (Point, bool) {
+	// A failed baseline fails every cell of the benchmark's row: there is
+	// nothing to compare against.
+	if _, err := e.run(prof, l2, leakctl.TechNone, 0); err != nil {
+		return Point{}, false
+	}
+	r, err := e.run(prof, l2, t, iv)
+	if err != nil {
+		return Point{}, false
+	}
+	p, err := s.EvaluateRun(e.ctx(), prof, r, tempC, m)
+	if err != nil {
+		return Point{}, false
+	}
+	return p, true
+}
+
 // LatencyFigure reproduces one (net savings, perf loss) figure pair at the
-// given L2 latency, temperature and fixed decay interval.
+// given L2 latency, temperature and fixed decay interval. Failed runs
+// degrade to ERR cells.
 func (e *Experiments) LatencyFigure(idSav, idPerf string, l2 int, tempC float64, interval uint64) (sav, perf Figure) {
 	e.prefetch(l2, []leakctl.Technique{leakctl.TechDrowsy, leakctl.TechGated}, []uint64{interval})
 	m := e.model(l2)
@@ -199,16 +574,18 @@ func (e *Experiments) LatencyFigure(idSav, idPerf string, l2 int, tempC float64,
 	sav = Figure{ID: idSav, Title: title, Metric: "net leakage savings %"}
 	perf = Figure{ID: idPerf, Title: title, Metric: "performance loss %"}
 	for _, prof := range e.Profiles {
-		dr := e.run(prof, l2, leakctl.TechDrowsy, interval)
-		gt := e.run(prof, l2, leakctl.TechGated, interval)
-		dp := s.EvaluateRun(prof, dr, tempC, m)
-		gp := s.EvaluateRun(prof, gt, tempC, m)
+		dp, dok := e.evalCell(s, m, prof, l2, leakctl.TechDrowsy, interval, tempC)
+		gp, gok := e.evalCell(s, m, prof, l2, leakctl.TechGated, interval, tempC)
 		sav.Bench = append(sav.Bench, prof.Name)
 		sav.Drowsy = append(sav.Drowsy, dp.Cmp.NetSavingsPct)
 		sav.Gated = append(sav.Gated, gp.Cmp.NetSavingsPct)
+		sav.DrowsyErr = append(sav.DrowsyErr, !dok)
+		sav.GatedErr = append(sav.GatedErr, !gok)
 		perf.Bench = append(perf.Bench, prof.Name)
 		perf.Drowsy = append(perf.Drowsy, dp.Cmp.PerfLossPct)
 		perf.Gated = append(perf.Gated, gp.Cmp.PerfLossPct)
+		perf.DrowsyErr = append(perf.DrowsyErr, !dok)
+		perf.GatedErr = append(perf.GatedErr, !gok)
 	}
 	return sav, perf
 }
@@ -241,16 +618,20 @@ func (e *Experiments) Figure10_11() (Figure, Figure) {
 }
 
 // BestIntervalResult is one benchmark's best-decay-interval outcome for one
-// technique (Figures 12-13, Table 3).
+// technique (Figures 12-13, Table 3). Failed reports that no interval of
+// the sweep produced a usable run for this benchmark/technique.
 type BestIntervalResult struct {
 	Bench    string
 	Interval uint64
 	Point    Point
+	Failed   bool
 }
 
 // SweepBest finds, per benchmark and technique, the decay interval in
 // SweepIntervals with the highest net savings at the given operating point.
 // This is the oracle the paper uses for its adaptivity headroom study.
+// Intervals whose run failed are skipped; a benchmark/technique with no
+// surviving interval is marked Failed.
 func (e *Experiments) SweepBest(l2 int, tempC float64) (drowsy, gated []BestIntervalResult) {
 	techs := []leakctl.Technique{leakctl.TechDrowsy, leakctl.TechGated}
 	e.prefetch(l2, techs, SweepIntervals)
@@ -258,15 +639,16 @@ func (e *Experiments) SweepBest(l2 int, tempC float64) (drowsy, gated []BestInte
 	s := e.suite(l2)
 	for _, prof := range e.Profiles {
 		for _, t := range techs {
-			best := BestIntervalResult{Bench: prof.Name}
-			first := true
+			best := BestIntervalResult{Bench: prof.Name, Failed: true}
 			for _, iv := range SweepIntervals {
-				r := e.run(prof, l2, t, iv)
-				p := s.EvaluateRun(prof, r, tempC, m)
-				if first || p.Cmp.NetSavingsPct > best.Point.Cmp.NetSavingsPct {
+				p, ok := e.evalCell(s, m, prof, l2, t, iv, tempC)
+				if !ok {
+					continue
+				}
+				if best.Failed || p.Cmp.NetSavingsPct > best.Point.Cmp.NetSavingsPct {
 					best.Interval = iv
 					best.Point = p
-					first = false
+					best.Failed = false
 				}
 			}
 			if t == leakctl.TechDrowsy {
@@ -290,9 +672,13 @@ func (e *Experiments) Figure12_13() (Figure, Figure) {
 		sav.Bench = append(sav.Bench, dr[i].Bench)
 		sav.Drowsy = append(sav.Drowsy, dr[i].Point.Cmp.NetSavingsPct)
 		sav.Gated = append(sav.Gated, gt[i].Point.Cmp.NetSavingsPct)
+		sav.DrowsyErr = append(sav.DrowsyErr, dr[i].Failed)
+		sav.GatedErr = append(sav.GatedErr, gt[i].Failed)
 		perf.Bench = append(perf.Bench, dr[i].Bench)
 		perf.Drowsy = append(perf.Drowsy, dr[i].Point.Cmp.PerfLossPct)
 		perf.Gated = append(perf.Gated, gt[i].Point.Cmp.PerfLossPct)
+		perf.DrowsyErr = append(perf.DrowsyErr, dr[i].Failed)
+		perf.GatedErr = append(perf.GatedErr, gt[i].Failed)
 	}
 	return sav, perf
 }
@@ -301,18 +687,24 @@ func (e *Experiments) Figure12_13() (Figure, Figure) {
 // from the same sweep as Figures 12-13.
 func (e *Experiments) Table3() string {
 	dr, gt := e.SweepBest(11, 85)
+	iv := func(r BestIntervalResult) string {
+		if r.Failed {
+			return "ERR"
+		}
+		return fmt.Sprintf("%dk", r.Interval/1024)
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 3 — best decay intervals (cycles)\n")
 	fmt.Fprintf(&b, "%-8s %10s %10s\n", "bench", "drowsy", "gated-vss")
 	for i := range dr {
-		fmt.Fprintf(&b, "%-8s %9dk %9dk\n", dr[i].Bench, dr[i].Interval/1024, gt[i].Interval/1024)
+		fmt.Fprintf(&b, "%-8s %10s %10s\n", dr[i].Bench, iv(dr[i]), iv(gt[i]))
 	}
 	return b.String()
 }
 
 // IntervalCurve returns net savings and perf loss per interval for one
 // benchmark and technique (used by ablation benches and the adaptive
-// study).
+// study). Intervals whose run failed are omitted from the curve.
 func (e *Experiments) IntervalCurve(bench string, t leakctl.Technique, l2 int, tempC float64) []Point {
 	prof, ok := workload.ByName(bench)
 	if !ok {
@@ -322,8 +714,9 @@ func (e *Experiments) IntervalCurve(bench string, t leakctl.Technique, l2 int, t
 	s := e.suite(l2)
 	var out []Point
 	for _, iv := range SweepIntervals {
-		r := e.run(prof, l2, t, iv)
-		out = append(out, s.EvaluateRun(prof, r, tempC, m))
+		if p, ok := e.evalCell(s, m, prof, l2, t, iv, tempC); ok {
+			out = append(out, p)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Interval < out[j].Interval })
 	return out

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"hotleakage/internal/leakctl"
@@ -17,7 +18,10 @@ func TestReplayedTraceMatchesLiveRun(t *testing.T) {
 	prof, _ := workload.ByName("parser")
 	params := leakctl.DefaultParams(leakctl.TechGated, 4096)
 
-	live := RunOne(mc, prof, params, nil)
+	live, err := RunOne(context.Background(), mc, prof, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var buf bytes.Buffer
 	w, err := trace.NewWriter(&buf, prof.Name, 0)
@@ -32,7 +36,10 @@ func TestReplayedTraceMatchesLiveRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replayed := RunOneFrom(mc, r.Name(), r, params, nil)
+	replayed, err := RunOneFrom(context.Background(), mc, r.Name(), r, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if live.CPU != replayed.CPU {
 		t.Fatalf("CPU stats diverged:\nlive   %+v\nreplay %+v", live.CPU, replayed.CPU)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -24,6 +25,13 @@ func shapeExperiments(t *testing.T) *Experiments {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("shape tests are long; skipped under -short")
+	}
+	if raceDetectorEnabled {
+		// Full-length runs are ~10x slower under the race detector and
+		// blow the package test timeout. These tests assert numeric
+		// orderings, not concurrency; the parallel paths are raced by
+		// supervised_test.go and internal/harness.
+		t.Skip("shape tests exceed the race-mode package timeout")
 	}
 	shapeOnce.Do(func() {
 		shapeExp = NewExperiments()
@@ -206,12 +214,12 @@ func TestShapeResidualOrderingDrivesNetGap(t *testing.T) {
 	e := shapeExperiments(t)
 	sav, _ := e.Figure8_9()
 	for i, bench := range sav.Bench {
-		dr := e.run(e.Profiles[i], 11, leakctl.TechDrowsy, DefaultInterval)
-		gt := e.run(e.Profiles[i], 11, leakctl.TechGated, DefaultInterval)
+		dr := mustT(e.run(e.Profiles[i], 11, leakctl.TechDrowsy, DefaultInterval))
+		gt := mustT(e.run(e.Profiles[i], 11, leakctl.TechGated, DefaultInterval))
 		m := e.model(11)
 		s := e.suite(11)
-		dp := s.EvaluateRun(e.Profiles[i], dr, 110, m)
-		gp := s.EvaluateRun(e.Profiles[i], gt, 110, m)
+		dp := mustT(s.EvaluateRun(context.Background(), e.Profiles[i], dr, 110, m))
+		gp := mustT(s.EvaluateRun(context.Background(), e.Profiles[i], gt, 110, m))
 		if gp.Cmp.ResidualPct >= dp.Cmp.ResidualPct {
 			t.Errorf("%s: gated residual %.1f not below drowsy %.1f",
 				bench, gp.Cmp.ResidualPct, dp.Cmp.ResidualPct)

@@ -6,6 +6,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -18,6 +20,11 @@ import (
 	"hotleakage/internal/tech"
 	"hotleakage/internal/workload"
 )
+
+// ErrInvalidConfig wraps configuration-validation failures. Retrying a run
+// that failed with it is pointless; the supervisor fails such runs
+// immediately.
+var ErrInvalidConfig = errors.New("sim: invalid configuration")
 
 // MachineConfig describes the simulated machine.
 type MachineConfig struct {
@@ -70,6 +77,38 @@ func DefaultMachine(l2Latency int) MachineConfig {
 	}
 }
 
+// Validate rejects impossible machine descriptions (zero sets/ways,
+// non-positive latencies, degenerate cores, bad technology parameters)
+// with descriptive errors before any simulation state is built.
+func (mc MachineConfig) Validate() error {
+	if mc.Tech == nil {
+		return fmt.Errorf("machine has no technology parameters")
+	}
+	if err := mc.Tech.Validate(); err != nil {
+		return err
+	}
+	if err := mc.CPU.Validate(); err != nil {
+		return err
+	}
+	for _, c := range []cache.Config{mc.L1I, mc.L1D, mc.L2} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if mc.MemLatency < 1 {
+		return fmt.Errorf("memory latency must be >= 1 cycle (got %d)", mc.MemLatency)
+	}
+	if mc.Instructions == 0 {
+		return fmt.Errorf("measured instruction count must be non-zero")
+	}
+	if mc.IL1Control != nil {
+		if err := mc.IL1Control.Validate(); err != nil {
+			return fmt.Errorf("IL1 control: %w", err)
+		}
+	}
+	return nil
+}
+
 // RunResult bundles everything one simulation produced.
 type RunResult struct {
 	Bench       string
@@ -93,17 +132,57 @@ type RunResult struct {
 
 // RunOne simulates the machine over one benchmark with the given
 // leakage-control parameters. adapter, if non-nil, is installed on the
-// controlled cache (adaptive decay study).
-func RunOne(mc MachineConfig, prof workload.Profile, params leakctl.Params, adapter leakctl.Adapter) RunResult {
-	return RunOneFrom(mc, prof.Name, workload.NewGenerator(prof), params, adapter)
+// controlled cache (adaptive decay study). The context carries the per-run
+// deadline and suite-wide cancellation; a nil context means Background.
+func RunOne(ctx context.Context, mc MachineConfig, prof workload.Profile, params leakctl.Params, adapter leakctl.Adapter) (RunResult, error) {
+	return RunOneFrom(ctx, mc, prof.Name, workload.NewGenerator(prof), params, adapter)
+}
+
+// runChunk is how many committed instructions are simulated between
+// context checks: frequent enough that deadlines bite within milliseconds,
+// coarse enough that the check is free. Chunking does not perturb results —
+// core.Run accumulates, so N chunks equal one long run bit-for-bit.
+const runChunk = 50_000
+
+// runCommitted advances the core by n committed instructions, honouring
+// cancellation between chunks, and returns the cumulative stats.
+func runCommitted(ctx context.Context, core *cpu.Core, n uint64) (cpu.Stats, error) {
+	var cs cpu.Stats
+	for done := uint64(0); done < n; {
+		if err := ctx.Err(); err != nil {
+			return cs, err
+		}
+		step := uint64(runChunk)
+		if n-done < step {
+			step = n - done
+		}
+		cs = core.Run(step)
+		done += step
+	}
+	return cs, nil
 }
 
 // RunOneFrom is RunOne over an arbitrary instruction source — a live
 // generator or a recorded trace (package trace) replayed from disk.
-func RunOneFrom(mc MachineConfig, name string, src cpu.InstrSource, params leakctl.Params, adapter leakctl.Adapter) RunResult {
+func RunOneFrom(ctx context.Context, mc MachineConfig, name string, src cpu.InstrSource, params leakctl.Params, adapter leakctl.Adapter) (RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := mc.Validate(); err != nil {
+		return RunResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	if err := params.Validate(); err != nil {
+		return RunResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
 	mem := cache.NewMemory(mc.Tech, mc.MemLatency)
-	l2 := cache.New(mc.Tech, mc.L2, mem)
-	dl1 := leakctl.New(mc.Tech, mc.L1D, params, l2)
+	l2, err := cache.New(mc.Tech, mc.L2, mem)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	dl1, err := leakctl.New(mc.Tech, mc.L1D, params, l2)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
 	if adapter != nil {
 		dl1.Adapter = adapter
 	}
@@ -113,10 +192,16 @@ func RunOneFrom(mc MachineConfig, name string, src cpu.InstrSource, params leakc
 	var il1Plain *cache.Cache
 	var il1Ctl *leakctl.DCache
 	if mc.IL1Control != nil {
-		il1Ctl = leakctl.New(mc.Tech, mc.L1I, *mc.IL1Control, l2)
+		il1Ctl, err = leakctl.New(mc.Tech, mc.L1I, *mc.IL1Control, l2)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
 		l1i = il1Ctl
 	} else {
-		il1Plain = cache.New(mc.Tech, mc.L1I, l2)
+		il1Plain, err = cache.New(mc.Tech, mc.L1I, l2)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
 		l1i = il1Plain
 	}
 
@@ -124,7 +209,9 @@ func RunOneFrom(mc MachineConfig, name string, src cpu.InstrSource, params leakc
 	core := cpu.New(mc.CPU, src, pred, l1i, dl1)
 
 	if mc.Warmup > 0 {
-		core.Run(mc.Warmup)
+		if _, err := runCommitted(ctx, core, mc.Warmup); err != nil {
+			return RunResult{}, err
+		}
 		core.ResetStats()
 		l2.ResetStats()
 		mem.ResetStats()
@@ -136,7 +223,10 @@ func RunOneFrom(mc MachineConfig, name string, src cpu.InstrSource, params leakc
 			il1Ctl.ResetStats(core.Now())
 		}
 	}
-	cs := core.Run(mc.Instructions)
+	cs, err := runCommitted(ctx, core, mc.Instructions)
+	if err != nil {
+		return RunResult{}, err
+	}
 	dl1.Finish(core.Now())
 
 	var icDynJ float64
@@ -189,7 +279,7 @@ func RunOneFrom(mc MachineConfig, name string, src cpu.InstrSource, params leakc
 		res.IL1Stats = &st
 		res.IL1Turnoff = il1Ctl.TurnoffRatio()
 	}
-	return res
+	return res, nil
 }
 
 // Point is one evaluated (benchmark, technique) cell of a figure.
@@ -217,33 +307,48 @@ func NewSuite(mc MachineConfig) *Suite {
 
 // Baseline returns (simulating on first use) the uncontrolled run for a
 // profile.
-func (s *Suite) Baseline(prof workload.Profile) RunResult {
+func (s *Suite) Baseline(ctx context.Context, prof workload.Profile) (RunResult, error) {
 	s.mu.Lock()
 	if r, ok := s.baselines[prof.Name]; ok {
 		s.mu.Unlock()
-		return r
+		return r, nil
 	}
 	s.mu.Unlock()
-	r := RunOne(s.MC, prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil)
+	r, err := RunOne(ctx, s.MC, prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil)
+	if err != nil {
+		return RunResult{}, err
+	}
+	s.SetBaseline(prof.Name, r)
+	return r, nil
+}
+
+// SetBaseline seeds the baseline cache with an already-computed run — used
+// when resuming from a checkpoint, so a restored baseline is not re-simulated.
+func (s *Suite) SetBaseline(name string, r RunResult) {
 	s.mu.Lock()
-	s.baselines[prof.Name] = r
+	s.baselines[name] = r
 	s.mu.Unlock()
-	return r
 }
 
 // Evaluate runs one technique on one benchmark and scores it at the given
 // temperature (Celsius). The leakage model is re-environmented, so a Suite
 // can score the same timing run at several temperatures cheaply via
 // EvaluateRun.
-func (s *Suite) Evaluate(prof workload.Profile, params leakctl.Params, tempC float64, m *leakage.Model) Point {
-	run := RunOne(s.MC, prof, params, nil)
-	return s.EvaluateRun(prof, run, tempC, m)
+func (s *Suite) Evaluate(ctx context.Context, prof workload.Profile, params leakctl.Params, tempC float64, m *leakage.Model) (Point, error) {
+	run, err := RunOne(ctx, s.MC, prof, params, nil)
+	if err != nil {
+		return Point{}, err
+	}
+	return s.EvaluateRun(ctx, prof, run, tempC, m)
 }
 
 // EvaluateRun scores an existing technique run against the cached baseline
 // at the given temperature.
-func (s *Suite) EvaluateRun(prof workload.Profile, run RunResult, tempC float64, m *leakage.Model) Point {
-	base := s.Baseline(prof)
+func (s *Suite) EvaluateRun(ctx context.Context, prof workload.Profile, run RunResult, tempC float64, m *leakage.Model) (Point, error) {
+	base, err := s.Baseline(ctx, prof)
+	if err != nil {
+		return Point{}, err
+	}
 	m.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(tempC), Vdd: s.MC.Tech.VddNominal})
 	cmp := energy.Compare(m, s.MC.L1D, run.Params.Technique.Mode(),
 		base.Measurement, run.Measurement, s.MC.Tech.ClockHz)
@@ -253,7 +358,7 @@ func (s *Suite) EvaluateRun(prof workload.Profile, run RunResult, tempC float64,
 		Interval:  run.Params.Interval,
 		Cmp:       cmp,
 		Run:       run,
-	}
+	}, nil
 }
 
 // String summarises a point for debugging.

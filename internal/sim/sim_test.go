@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,6 +9,15 @@ import (
 	"hotleakage/internal/leakctl"
 	"hotleakage/internal/workload"
 )
+
+// mustT unwraps a (value, error) pair inside a test; the configurations
+// used by tests are known good, so an error is itself a test bug.
+func mustT[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 // fastMachine shrinks run length for test speed.
 func fastMachine(l2 int) MachineConfig {
@@ -41,7 +51,7 @@ func TestDefaultMachineIsTable2(t *testing.T) {
 
 func TestRunOneProducesMeasurement(t *testing.T) {
 	prof, _ := workload.ByName("gcc")
-	r := RunOne(fastMachine(11), prof, leakctl.DefaultParams(leakctl.TechGated, 4096), nil)
+	r := mustT(RunOne(context.Background(), fastMachine(11), prof, leakctl.DefaultParams(leakctl.TechGated, 4096), nil))
 	m := r.Measurement
 	if m.Cycles == 0 || m.Instructions < 120_000 {
 		t.Fatalf("degenerate run: %+v", m)
@@ -60,8 +70,8 @@ func TestRunOneProducesMeasurement(t *testing.T) {
 func TestBaselineCaching(t *testing.T) {
 	s := NewSuite(fastMachine(11))
 	prof, _ := workload.ByName("mcf")
-	a := s.Baseline(prof)
-	b := s.Baseline(prof)
+	a := mustT(s.Baseline(context.Background(), prof))
+	b := mustT(s.Baseline(context.Background(), prof))
 	if a.Measurement != b.Measurement {
 		t.Fatal("baseline not cached / not deterministic")
 	}
@@ -72,7 +82,7 @@ func TestEvaluateProducesSaneComparison(t *testing.T) {
 	s := NewSuite(mc)
 	m := leakage.New(mc.Tech)
 	prof, _ := workload.ByName("gcc")
-	p := s.Evaluate(prof, leakctl.DefaultParams(leakctl.TechDrowsy, 4096), 110, m)
+	p := mustT(s.Evaluate(context.Background(), prof, leakctl.DefaultParams(leakctl.TechDrowsy, 4096), 110, m))
 	if p.Cmp.NetSavingsPct < 10 || p.Cmp.NetSavingsPct > 95 {
 		t.Fatalf("drowsy net savings %v implausible", p.Cmp.NetSavingsPct)
 	}
@@ -159,8 +169,8 @@ func TestExperimentsRunCaching(t *testing.T) {
 	e.Warmup = 30_000
 	e.Profiles = e.Profiles[:2]
 	prof := e.Profiles[0]
-	a := e.run(prof, 11, leakctl.TechGated, 4096)
-	b := e.run(prof, 11, leakctl.TechGated, 4096)
+	a := mustT(e.run(prof, 11, leakctl.TechGated, 4096))
+	b := mustT(e.run(prof, 11, leakctl.TechGated, 4096))
 	if a.Measurement != b.Measurement {
 		t.Fatal("run caching broken")
 	}
@@ -206,7 +216,7 @@ func TestIntervalCurveOrdering(t *testing.T) {
 func TestAdaptiveRunHooksIn(t *testing.T) {
 	prof, _ := workload.ByName("gzip")
 	ad := &countingAdapter{iv: 2048}
-	RunOne(fastMachine(11), prof, leakctl.DefaultParams(leakctl.TechGated, 65536), ad)
+	mustT(RunOne(context.Background(), fastMachine(11), prof, leakctl.DefaultParams(leakctl.TechGated, 65536), ad))
 	if ad.calls == 0 {
 		t.Fatal("adapter never consulted")
 	}
@@ -228,7 +238,7 @@ func TestIL1ControlProducesIL1Measurement(t *testing.T) {
 	il1 := leakctl.DefaultParams(leakctl.TechDrowsy, 4096)
 	mc.IL1Control = &il1
 	prof, _ := workload.ByName("gcc")
-	r := RunOne(mc, prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil)
+	r := mustT(RunOne(context.Background(), mc, prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil))
 	if r.IL1Meas == nil || r.IL1Stats == nil {
 		t.Fatal("I-cache control produced no I-cache measurement")
 	}
@@ -246,7 +256,7 @@ func TestIL1ControlProducesIL1Measurement(t *testing.T) {
 
 func TestPlainRunHasNoIL1Measurement(t *testing.T) {
 	prof, _ := workload.ByName("gcc")
-	r := RunOne(fastMachine(11), prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil)
+	r := mustT(RunOne(context.Background(), fastMachine(11), prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil))
 	if r.IL1Meas != nil || r.IL1Stats != nil {
 		t.Fatal("uncontrolled I-cache produced control measurements")
 	}

@@ -169,6 +169,35 @@ func (p *Params) VthAt(d DeviceParams, tK float64) float64 {
 // DrowsyVdd returns the standby supply used by the drowsy technique.
 func (p *Params) DrowsyVdd() float64 { return p.DrowsyVddFactor * p.N.Vth0 }
 
+// Validate rejects physically impossible parameter sets (non-positive
+// supplies, clock, oxide thickness or thresholds) with descriptive errors,
+// so a bad hand-built configuration fails before any simulation starts
+// instead of producing NaN energies deep in a run.
+func (p *Params) Validate() error {
+	if p == nil {
+		return fmt.Errorf("tech: nil parameter set")
+	}
+	if p.Vdd0 <= 0 || p.VddNominal <= 0 {
+		return fmt.Errorf("tech %s: supply voltages must be positive (Vdd0=%g, VddNominal=%g)", p.Node, p.Vdd0, p.VddNominal)
+	}
+	if p.ClockHz <= 0 {
+		return fmt.Errorf("tech %s: clock frequency must be positive (got %g Hz)", p.Node, p.ClockHz)
+	}
+	if p.ToxM <= 0 {
+		return fmt.Errorf("tech %s: oxide thickness must be positive (got %g m)", p.Node, p.ToxM)
+	}
+	if p.N.Vth0 <= 0 || p.P.Vth0 <= 0 {
+		return fmt.Errorf("tech %s: threshold voltages must be positive (N=%g, P=%g)", p.Node, p.N.Vth0, p.P.Vth0)
+	}
+	if p.N.WL <= 0 || p.P.WL <= 0 || p.N.Mu0 <= 0 || p.P.Mu0 <= 0 {
+		return fmt.Errorf("tech %s: device geometry and mobility must be positive", p.Node)
+	}
+	if p.N.Swing <= 0 || p.P.Swing <= 0 {
+		return fmt.Errorf("tech %s: subthreshold swing must be positive", p.Node)
+	}
+	return nil
+}
+
 // ByNode returns the parameter set for a node. It returns an error for an
 // unsupported node so callers can surface bad configuration cleanly.
 func ByNode(n Node) (*Params, error) {

@@ -126,3 +126,25 @@ func TestSleepVthAboveNominal(t *testing.T) {
 		}
 	}
 }
+
+func TestParamsValidate(t *testing.T) {
+	for _, n := range []Node{Node180, Node130, Node100, Node70} {
+		if err := MustByNode(n).Validate(); err != nil {
+			t.Fatalf("built-in node %s invalid: %v", n, err)
+		}
+	}
+	var nilP *Params
+	if err := nilP.Validate(); err == nil {
+		t.Fatal("nil params validated")
+	}
+	bad := *MustByNode(Node70)
+	bad.VddNominal = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Vdd <= 0 validated")
+	}
+	bad = *MustByNode(Node70)
+	bad.ClockHz = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative clock validated")
+	}
+}
