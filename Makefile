@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test verify bench clean
+# Seed-commit (b1ceed6) SimulatorThroughput rate in instr/s, measured on
+# the same host interleaved with the current code (see EXPERIMENTS.md,
+# "Simulator throughput tracking"). Override when re-baselining:
+#   make bench BASELINE_INSTR_S=...
+BASELINE_INSTR_S ?= 1990000
+
+.PHONY: build test verify bench bench-all clean
 
 build:
 	$(GO) build ./...
@@ -14,7 +20,28 @@ verify: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# Simulator throughput: five samples of the committed-instruction rate,
+# recorded with date and commit in BENCH_throughput.json for longitudinal
+# comparison against the seed baseline.
 bench:
+	$(GO) test -run '^$$' -bench=SimulatorThroughput -count=5 . | tee bench_throughput.tmp
+	awk -v date="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	    -v commit="$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+	    -v base="$(BASELINE_INSTR_S)" ' \
+	  /instr\/s/ { v[n++] = $$(NF-1) } \
+	  END { \
+	    printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n", date, commit; \
+	    printf "  \"benchmark\": \"BenchmarkSimulatorThroughput\",\n"; \
+	    printf "  \"instr_per_s\": ["; \
+	    for (i = 0; i < n; i++) printf "%s%s", (i ? ", " : ""), v[i]; \
+	    printf "],\n  \"baseline_commit\": \"b1ceed6\",\n"; \
+	    printf "  \"baseline_instr_per_s\": %s\n}\n", base; \
+	  }' bench_throughput.tmp > BENCH_throughput.json
+	rm -f bench_throughput.tmp
+	cat BENCH_throughput.json
+
+# Every benchmark (figures, tables, ablations) at minimal iteration count.
+bench-all:
 	$(GO) test -bench=. -benchtime=1x -v .
 
 clean:

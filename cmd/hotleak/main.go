@@ -27,20 +27,24 @@ import (
 	"time"
 
 	"hotleakage/internal/core"
+	"hotleakage/internal/harness/profiling"
 	"hotleakage/internal/leakage"
 	"hotleakage/internal/tech"
 )
 
 func main() {
 	var (
-		node    = flag.Int("node", 70, "technology node in nm (180, 130, 100, 70)")
-		tempC   = flag.Float64("temp", 85, "operating temperature in Celsius")
-		vdd     = flag.Float64("vdd", 0, "supply voltage (0 = node nominal)")
-		cells   = flag.Int("cells", 64*1024*8, "SRAM cell count for the structure report")
-		derive  = flag.Bool("derive", false, "derive k_design for the built-in gate library")
-		vary    = flag.Bool("variation", false, "report inter-die variation multipliers")
-		compare = flag.String("compare", "", "run the drowsy vs gated-Vss comparison on a benchmark")
-		timeout = flag.Duration("timeout", 0, "deadline for -compare simulations (0 = none)")
+		node     = flag.Int("node", 70, "technology node in nm (180, 130, 100, 70)")
+		tempC    = flag.Float64("temp", 85, "operating temperature in Celsius")
+		vdd      = flag.Float64("vdd", 0, "supply voltage (0 = node nominal)")
+		cells    = flag.Int("cells", 64*1024*8, "SRAM cell count for the structure report")
+		derive   = flag.Bool("derive", false, "derive k_design for the built-in gate library")
+		vary     = flag.Bool("variation", false, "report inter-die variation multipliers")
+		compare  = flag.String("compare", "", "run the drowsy vs gated-Vss comparison on a benchmark")
+		timeout  = flag.Duration("timeout", 0, "deadline for -compare simulations (0 = none)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut = flag.String("trace", "", "write an execution trace to this file")
 	)
 	flag.Parse()
 
@@ -53,8 +57,17 @@ func main() {
 		*vdd = p.VddNominal
 	}
 
+	stopProf, err := profiling.Start(*cpuProf, *memProf, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
+
 	if *compare != "" {
-		os.Exit(runCompare(*compare, *tempC, *timeout, *vary))
+		code := runCompare(*compare, *tempC, *timeout, *vary)
+		stopProf() // os.Exit skips the deferred stop
+		os.Exit(code)
 	}
 
 	if *derive {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"hotleakage/internal/harness/faultinject"
+	"hotleakage/internal/harness/profiling"
 	"hotleakage/internal/leakage"
 	"hotleakage/internal/sim"
 	"hotleakage/internal/tech"
@@ -54,8 +55,18 @@ func run() int {
 		resume     = flag.Bool("resume", false, "resume from -checkpoint (its header must match -n/-warmup)")
 		maxRetries = flag.Int("max-retries", 2, "re-executions of a transiently failed run")
 		faultSpec  = flag.String("faultinject", "", "inject faults for testing, e.g. panic:1/8[:seed=N][:sticky]")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace", "", "write an execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProf()
 
 	// SIGINT/SIGTERM cancel the suite: workers drain, completed runs are
 	// kept and checkpointed, and the failure summary reports the rest.

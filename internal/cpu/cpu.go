@@ -10,12 +10,21 @@
 // misses can be tolerated". Instructions come from a workload generator;
 // wrong-path execution is approximated by stalling fetch from a
 // mispredicted branch until it resolves (standard trace-driven treatment).
+//
+// The cycle loop is event-driven: cycles on which the machine provably
+// cannot change state (everything in flight is waiting on a miss, a decay
+// rollover, or a fetch stall) are skipped in one jump rather than executed
+// one by one. The fast-forward is bit-identical to strict cycle-by-cycle
+// execution — see Core.fastForward for the invariant and
+// Core.DisableFastForward for the reference path tests compare against.
 package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hotleakage/internal/bpred"
+	"hotleakage/internal/cache"
 	"hotleakage/internal/leakctl"
 	"hotleakage/internal/workload"
 )
@@ -98,6 +107,46 @@ func opLatency(op workload.OpClass) uint64 {
 	}
 }
 
+// Functional-unit pools. The issue loop selects an op's pool and latency by
+// table lookup — the op mix is random, so a multiway branch on the class
+// mispredicted constantly.
+const (
+	fuIntALU = iota
+	fuIntMul
+	fuFPALU
+	fuFPMul
+	fuMem
+	numFU
+)
+
+// fuClassTab and latTab are indexed by OpClass (masked to table size; CTIs
+// and anything unknown execute on an integer ALU with latency 1, matching
+// opLatency's default).
+var fuClassTab = [16]uint8{
+	workload.OpIntALU: fuIntALU,
+	workload.OpIntMul: fuIntMul,
+	workload.OpFPALU:  fuFPALU,
+	workload.OpFPMul:  fuFPMul,
+	workload.OpLoad:   fuMem,
+	workload.OpStore:  fuMem,
+}
+
+var latTab = [16]uint64{
+	workload.OpIntMul: 4,
+	workload.OpFPALU:  2,
+	workload.OpFPMul:  4,
+}
+
+func init() {
+	// Everything else — ALU ops, CTIs, memory ops (whose latency the cache
+	// supplies), padding slots — takes opLatency's default of 1.
+	for i, v := range latTab {
+		if v == 0 {
+			latTab[i] = 1
+		}
+	}
+}
+
 // Stats is the core's run summary.
 type Stats struct {
 	Cycles       uint64
@@ -118,13 +167,33 @@ func (s Stats) IPC() float64 {
 	return float64(s.Instructions) / float64(s.Cycles)
 }
 
+// entry is one RUU slot. Completion state (issued flag, completion cycle,
+// memory-op flag) lives in the Core.done side array instead: the walks
+// that only ask "is it done yet?" — commit, operand resolution, the
+// fast-forward event scan — then touch a dense word per entry rather than
+// pulling in a whole line of operand fields.
 type entry struct {
-	op     workload.OpClass
-	src1   uint64 // producer seq (0 = none; seqs start at 1)
-	src2   uint64
-	addr   uint64
-	issued bool
-	doneAt uint64
+	src1 uint64 // producer seq (0 = none; seqs start at 1)
+	src2 uint64
+	addr uint64
+	// readyAt is the cycle both producers' values are available (0 = not
+	// yet computable because a producer is still un-issued). A
+	// producer's completion time is immutable once it issues and
+	// irrelevant once it commits, so the value is final when first
+	// derived.
+	readyAt uint64
+	// link chains this entry through whichever scheduler structure it
+	// currently waits in: a producer's waiter chain (readyAt unknown) or
+	// a wake-wheel slot (readyAt known and in the future). The states
+	// are mutually exclusive, so one field serves both.
+	link uint64
+	// waiters heads the chain of dispatched entries whose ready time
+	// becomes computable when this entry issues.
+	waiters uint64
+	op      workload.OpClass
+	// Pad to 64 bytes so each entry occupies exactly one cache line and
+	// the issue/dispatch walks never straddle two.
+	_ [7]byte
 }
 
 type fetched struct {
@@ -147,6 +216,22 @@ type FetchCache interface {
 	Tick(cycle uint64)
 }
 
+// TickEventer is a FetchCache whose Tick does real work only on scheduled
+// cycles (decay rollovers, adapter consultations). NextTickEvent returns
+// the next cycle at which Tick must observe time; the core skips the Tick
+// call on every other cycle. A FetchCache that implements neither this nor
+// a no-op Tick (plain cache.Cache) is ticked every cycle and disables
+// fast-forwarding, since the core cannot know when its Tick matters.
+type TickEventer interface {
+	NextTickEvent() uint64
+}
+
+// never is the "no scheduled event" sentinel cycle.
+const never = ^uint64(0)
+
+// notIssued marks a done-array slot whose occupant has not issued yet.
+const notIssued = ^uint64(0)
+
 // Core wires the generator, predictor and memory hierarchy together.
 type Core struct {
 	Cfg    Config
@@ -156,53 +241,356 @@ type Core struct {
 	DCache *leakctl.DCache
 	Stats  Stats
 
-	ring    []entry
-	head    uint64 // oldest in-flight seq
-	tail    uint64 // one past the youngest dispatched seq
-	lsqUsed int
-	// mshrFree holds the completion times of outstanding D-cache misses.
-	mshrBusy []uint64
+	// DisableFastForward forces strict cycle-by-cycle execution — the
+	// reference behaviour the event-driven loop must match bit for bit.
+	// Tests flip it to prove identity; production runs leave it false.
+	DisableFastForward bool
 
-	fetchBuf      []fetched
+	// ring holds the RUU. Its length is the next power of two >= RUUSize
+	// so slot lookup is a mask, not a modulo; occupancy is still bounded
+	// by RUUSize in dispatch, so no two in-flight seqs alias.
+	ring     []entry
+	ringMask uint64
+	head     uint64 // oldest in-flight seq
+	tail     uint64 // one past the youngest dispatched seq
+	// The scheduler is event-driven: instead of rescanning the window
+	// every cycle, each dispatched entry's ready time is derived once —
+	// at dispatch if both producers have issued, otherwise when the
+	// producer it waits on issues (waiter chains) — and the entry is
+	// filed in a calendar wheel keyed by that cycle. The per-cycle work
+	// is then one wheel-slot pop plus a walk of the (small) ready list,
+	// rather than a ScanLimit-bounded scan over mostly unready entries.
+	//
+	// rdy holds the seqs of un-issued entries whose operands are
+	// available, sorted oldest-first — exactly the entries the reference
+	// scan would find ready. The backing array is fixed at the ring
+	// size and never reassigned (rdyLen tracks occupancy) so the hot
+	// paths store plain words, not slice headers with write barriers.
+	rdy    []uint64
+	rdyLen int
+	// wheel[t & wheelMask] heads a chain (through entry.link) of entries
+	// whose readyAt is t modulo the wheel size; entries from a later lap
+	// are re-filed on pop. Wakes can never land inside a fast-forwarded
+	// region: a future readyAt always equals the doneAt of an in-flight
+	// producer, which bounds the fast-forward jump. A fixed-size array
+	// (the size is a compile-time constant) lets masked indexing skip
+	// the bounds check.
+	wheel [wheelSize]uint64
+	// nextRdy is the fast lane for the dominant wake distance: entries
+	// whose readyAt is exactly the next cycle (single-cycle producers
+	// issue and wake dependents for cycle+1 constantly). They skip the
+	// wheel's chain-link stores and entry reloads; the slice is drained
+	// unconditionally at the next cycle's pop. The next cycle can never
+	// be fast-forwarded over: readyAt == now+1 implies a producer with
+	// doneAt >= now+1 is still in flight, which bounds the jump. Fixed
+	// backing array, like rdy.
+	nextRdy    []uint64
+	nextRdyLen int
+	// wheelCount tracks entries currently filed in the wheel so the
+	// per-cycle slot probe is skipped while the wheel is empty — the
+	// usual state now that next-cycle wakes bypass it.
+	wheelCount int
+	// unb is a bitmap over ring slots marking un-issued entries, and
+	// unissued its total. A popcount over the ring-order interval from
+	// head's slot gives each ready entry's rank among all un-issued
+	// entries — the reference scan's "scanned" position — so the
+	// ScanLimit cutoff applies to exactly the same entries without
+	// walking the window.
+	unb      []uint64
+	unissued int
+	// done packs each slot's completion state into one word:
+	// notIssued while the occupant has not issued, else doneAt<<1 with
+	// bit 0 flagging a memory op (for commit's LSQ release). Keeping it
+	// out of the entry struct makes the done-yet walks — commit,
+	// readyTime, fastForward — scan eight slots per cache line.
+	done []uint64
+	// wakeBuf is scratch for wakeWaiters to reverse a waiter chain
+	// (capacity: ring size, the most entries that can ever wait).
+	wakeBuf []uint64
+
+	lsqUsed int
+	// mshrBusy holds the completion times of outstanding D-cache misses
+	// in a fixed MSHRs-long array (mshrLen tracks occupancy), so the
+	// issue path never allocates or stores a slice header.
+	mshrBusy []uint64
+	mshrLen  int
+
+	// fetchBuf is a fixed ring buffer (capacity: next power of two >=
+	// 3*FetchWidth, the maximum occupancy fetch can create) replacing the
+	// old append/reslice queue that churned allocations every cycle.
+	fetchBuf  []fetched
+	fetchHead int
+	fetchLen  int
+	fetchMask int
+
 	fetchStall    uint64 // first cycle fetch may run again
 	pendingBranch uint64 // seq of an unresolved mispredicted branch (0 = none)
 	lastFetchLine uint64
 
 	nextSeq uint64
 	now     uint64 // global cycle counter, persists across Run calls
+
+	// genFast caches Gen's concrete type when it is the live workload
+	// generator, turning the per-instruction interface dispatch in fetch
+	// into a direct call.
+	genFast *workload.Generator
+
+	// Tick scheduling: dcNext/icNext cache the caches' next scheduled
+	// tick event so the per-cycle loop is two compares instead of two
+	// interface calls. icTick selects the I-cache's tick regime.
+	dcNext uint64
+	icNext uint64
+	icTick icTickMode
+	// fuBlocked records that a ready instruction was denied a functional
+	// unit this cycle: the machine is stalled on structural hazards that
+	// clear by themselves next cycle, so the cycle is not skippable.
+	fuBlocked bool
 }
+
+// wheelSize is the wake wheel's span in cycles (power of two). Latencies
+// longer than a lap are handled by re-filing on pop, so the size only
+// trades memory against the rare-lap cost.
+const wheelSize = 1024
+
+// icTickMode classifies the I-cache's Tick behaviour.
+type icTickMode uint8
+
+const (
+	icTickNone  icTickMode = iota // plain cache.Cache: Tick is a no-op, never call
+	icTickEvent                   // TickEventer: call only at scheduled events
+	icTickEvery                   // unknown implementation: call every cycle
+)
 
 // New builds a core over the given workload and hierarchy.
 func New(cfg Config, gen InstrSource, pred *bpred.Predictor, ic FetchCache, dc *leakctl.DCache) *Core {
-	return &Core{
+	ringLen := 1
+	for ringLen < cfg.RUUSize {
+		ringLen <<= 1
+	}
+	fbLen := 1
+	for fbLen < 3*cfg.FetchWidth {
+		fbLen <<= 1
+	}
+	c := &Core{
 		Cfg:           cfg,
 		Gen:           gen,
 		Pred:          pred,
 		ICache:        ic,
 		DCache:        dc,
-		ring:          make([]entry, cfg.RUUSize),
+		ring:          make([]entry, ringLen),
+		ringMask:      uint64(ringLen - 1),
+		rdy:           make([]uint64, ringLen),
+		nextRdy:       make([]uint64, ringLen),
+		unb:           make([]uint64, (ringLen+63)/64),
+		done:          make([]uint64, ringLen),
+		wakeBuf:       make([]uint64, ringLen),
+		fetchBuf:      make([]fetched, fbLen),
+		fetchMask:     fbLen - 1,
 		nextSeq:       1,
 		head:          1,
 		tail:          1,
 		lastFetchLine: ^uint64(0),
 	}
+	if cfg.MSHRs > 0 {
+		c.mshrBusy = make([]uint64, cfg.MSHRs)
+	}
+	switch ic.(type) {
+	case *cache.Cache:
+		c.icTick = icTickNone // documented no-op Tick: skip the dispatch
+	case TickEventer:
+		c.icTick = icTickEvent
+	default:
+		c.icTick = icTickEvery
+	}
+	c.genFast, _ = gen.(*workload.Generator)
+	return c
 }
 
 // slot maps a sequence number to its ring entry.
 func (c *Core) slot(seq uint64) *entry {
-	return &c.ring[seq%uint64(len(c.ring))]
+	return &c.ring[seq&c.ringMask]
 }
 
-// ready reports whether producer seq's value is available at cycle.
-func (c *Core) ready(producer, cycle uint64) bool {
-	if producer == 0 || producer < c.head {
-		return true // no dependence, or producer already committed
+// readyTime returns the earliest cycle at which producer seq's value is
+// available, and whether that time is known yet (false while the producer
+// sits in the window un-issued). For a known producer the result never
+// changes afterwards: the completion time is fixed at issue, and a
+// producer that later commits was by definition done at commit time.
+// Producers are always strictly older than their consumer, so no caller
+// can pass one at or past the tail.
+func readyTime(done []uint64, mask, head, producer uint64) (uint64, bool) {
+	if producer == 0 || producer < head {
+		return 0, true // no dependence, or already committed
 	}
-	if producer >= c.tail {
-		return true // dependence ran off the generated window (free)
+	d := done[producer&mask]
+	if d == notIssued {
+		return 0, false
 	}
-	e := c.slot(producer)
-	return e.issued && e.doneAt <= cycle
+	return d >> 1, true
+}
+
+// popRange counts un-issued entries in ring slots [a, b), a <= b.
+func (c *Core) popRange(a, b uint64) int {
+	wa, wb := a>>6, b>>6
+	loMask := ^(uint64(1)<<(a&63) - 1)
+	hiMask := uint64(1)<<(b&63) - 1
+	if wa == wb {
+		return bits.OnesCount64(c.unb[wa] & loMask & hiMask)
+	}
+	t := bits.OnesCount64(c.unb[wa] & loMask)
+	for w := wa + 1; w < wb; w++ {
+		t += bits.OnesCount64(c.unb[w])
+	}
+	return t + bits.OnesCount64(c.unb[wb]&hiMask)
+}
+
+// rank counts un-issued entries older than seq — the zero-based position
+// the reference scan would examine seq at. The window never wraps more
+// than once around the ring, so age order is ring order starting at head's
+// slot.
+func (c *Core) rank(seq uint64) int {
+	hs := c.head & c.ringMask
+	ss := seq & c.ringMask
+	if ss >= hs {
+		return c.popRange(hs, ss)
+	}
+	return c.unissued - c.popRange(ss, hs)
+}
+
+// rdyInsert files seq into the ready list, keeping it sorted oldest-first.
+// The list is small (bounded by issue throughput), so an insertion shift
+// beats any heap.
+func (c *Core) rdyInsert(seq uint64) {
+	r := c.rdy
+	i := c.rdyLen
+	c.rdyLen = i + 1
+	for i > 0 && r[i-1] > seq {
+		r[i] = r[i-1]
+		i--
+	}
+	r[i] = seq
+}
+
+// wheelInsert files seq to wake at cycle at.
+func (c *Core) wheelInsert(seq, at uint64) {
+	i := at & (wheelSize - 1)
+	c.ring[seq&c.ringMask].link = c.wheel[i]
+	c.wheel[i] = seq
+	c.wheelCount++
+}
+
+// popWheel drains the fast lane and the current cycle's wheel slot into the
+// ready list, re-filing wheel entries whose readyAt is a whole lap (or
+// more) away.
+func (c *Core) popWheel() {
+	if nl := c.nextRdyLen; nl > 0 {
+		// Everything in the fast lane was filed last cycle for exactly
+		// this one; no readyAt check needed.
+		for _, s := range c.nextRdy[:nl] {
+			c.rdyInsert(s)
+		}
+		c.nextRdyLen = 0
+	}
+	if c.wheelCount == 0 {
+		return
+	}
+	wi := c.now & (wheelSize - 1)
+	s := c.wheel[wi]
+	if s == 0 {
+		return
+	}
+	c.wheel[wi] = 0
+	ring := c.ring
+	mask := uint64(len(ring) - 1)
+	for s != 0 {
+		e := &ring[s&mask]
+		nxt := e.link
+		e.link = 0
+		if e.readyAt == c.now {
+			c.rdyInsert(s)
+			c.wheelCount--
+		} else {
+			// A later lap: keep it in the same slot (readyAt is
+			// congruent to this cycle modulo the wheel size).
+			e.link = c.wheel[wi]
+			c.wheel[wi] = s
+		}
+		s = nxt
+	}
+}
+
+// schedule derives entry seq's ready time if both producers have issued
+// and files the entry accordingly; otherwise it parks the entry on the
+// first still-unknown producer's waiter chain. cycle is the current cycle:
+// already-ready entries go straight to the ready list (they become
+// examinable next cycle, exactly when the reference scan would first see
+// them ready).
+func (c *Core) schedule(seq uint64, e *entry, cycle uint64) {
+	ring := c.ring
+	mask := uint64(len(ring) - 1)
+	head := c.head
+	done := c.done
+	t1, known := readyTime(done, mask, head, e.src1)
+	if !known {
+		p := &ring[e.src1&mask]
+		e.link = p.waiters
+		p.waiters = seq
+		return
+	}
+	t2, known := readyTime(done, mask, head, e.src2)
+	if !known {
+		p := &ring[e.src2&mask]
+		e.link = p.waiters
+		p.waiters = seq
+		return
+	}
+	if t2 > t1 {
+		t1 = t2
+	}
+	if t1 == 0 {
+		t1 = 1 // ready since dispatch; cycles start at 1
+	}
+	e.readyAt = t1
+	switch {
+	case t1 <= cycle:
+		c.rdyInsert(seq)
+	case t1 == cycle+1:
+		c.nextRdy[c.nextRdyLen] = seq
+		c.nextRdyLen++
+	default:
+		c.wheelInsert(seq, t1)
+	}
+}
+
+// wakeWaiters re-schedules every entry that was waiting on p, which has
+// just issued at cycle. Each either files into the wheel (its ready time,
+// at least p's completion, is now known and strictly in the future) or
+// moves to its other, still-unknown producer's chain.
+//
+// Dispatch parks LIFO, so the chain runs youngest-first; the chain is
+// buffered and processed in reverse so wakes happen oldest-first. Only
+// the cost changes: every woken entry reaches the sorted ready list
+// eventually, and an ascending wake order means the eventual insertions
+// are appends instead of shifts. Park order on a further producer's chain
+// changes too, but that again only permutes a future wake batch.
+func (c *Core) wakeWaiters(p *entry, cycle uint64) {
+	ring := c.ring
+	mask := uint64(len(ring) - 1)
+	buf := c.wakeBuf
+	n := 0
+	for s := p.waiters; s != 0; {
+		e := &ring[s&mask]
+		buf[n] = s
+		n++
+		nxt := e.link
+		e.link = 0
+		s = nxt
+	}
+	p.waiters = 0
+	for i := n - 1; i >= 0; i-- {
+		s := buf[i]
+		c.schedule(s, &ring[s&mask], cycle)
+	}
 }
 
 // Run simulates until n further instructions commit (beyond whatever has
@@ -212,17 +600,105 @@ func (c *Core) ready(producer, cycle uint64) bool {
 func (c *Core) Run(n uint64) Stats {
 	target := c.Stats.Instructions + n
 	start := c.now
+	// Re-derive the cached tick schedules on entry: an adapter may have
+	// been installed or an interval reprogrammed since the last call.
+	// Forcing a Tick on the first cycle is harmless — the reference loop
+	// ticks every cycle anyway.
+	c.dcNext = 0
+	c.icNext = 0
 	for c.Stats.Instructions < target {
 		c.now++
-		c.DCache.Tick(c.now)
-		c.ICache.Tick(c.now)
-		c.commit(c.now)
-		c.issue(c.now)
-		c.dispatch(c.now)
-		c.fetch(c.now)
+		if c.now >= c.dcNext {
+			c.DCache.Tick(c.now)
+			c.dcNext = c.DCache.NextTickEvent()
+		}
+		switch c.icTick {
+		case icTickEvent:
+			if c.now >= c.icNext {
+				c.ICache.Tick(c.now)
+				c.icNext = c.ICache.(TickEventer).NextTickEvent()
+			}
+		case icTickEvery:
+			c.ICache.Tick(c.now)
+		}
+		c.fuBlocked = false
+		// The pop/issue/dispatch calls are guarded by their cheapest
+		// emptiness conditions so quiet stages cost a compare, not a
+		// call. A skipped stage contributes no activity, exactly as its
+		// empty-handed call would.
+		if c.wheelCount != 0 || c.nextRdyLen != 0 {
+			c.popWheel()
+		}
+		active := c.commit(c.now)
+		if c.rdyLen != 0 && c.issue(c.now) {
+			active = true
+		}
+		if c.fetchLen != 0 && c.dispatch(c.now) {
+			active = true
+		}
+		if c.fetch(c.now) {
+			active = true
+		}
+		if !active && !c.fuBlocked && !c.DisableFastForward && c.icTick != icTickEvery {
+			c.fastForward()
+		}
 	}
 	c.Stats.Cycles += c.now - start
 	return c.Stats
+}
+
+// fastForward runs at the end of a provably idle cycle: nothing committed,
+// issued, dispatched or fetched, and no ready instruction was denied a
+// functional unit. Until the earliest scheduled event — an in-flight
+// instruction completing, the fetch stall ending, an MSHR freeing, a decay
+// rollover or an adapter consultation — every following cycle repeats the
+// idle cycle exactly, so the core jumps to the cycle before that event and
+// books the skipped fetch-stall cycles in bulk.
+//
+// The invariant that makes the jump bit-identical: instruction readiness,
+// commit eligibility and MSHR occupancy change only at recorded doneAt
+// times; fetch blockage changes only at fetchStall, at a branch issuing
+// (an active cycle), or at dispatch draining the buffer (idle ⇒ none);
+// and the decay machines do nothing between their scheduled rollovers and
+// adapter consultations, which both caches expose via NextTickEvent.
+func (c *Core) fastForward() {
+	next := c.dcNext
+	if c.icTick == icTickEvent && c.icNext < next {
+		next = c.icNext
+	}
+	if c.fetchStall > c.now && c.fetchStall < next {
+		next = c.fetchStall
+	}
+	done := c.done
+	mask := c.ringMask
+	for seq := c.head; seq < c.tail; seq++ {
+		d := done[seq&mask]
+		if d == notIssued {
+			continue
+		}
+		if t := d >> 1; t > c.now && t < next {
+			next = t
+		}
+	}
+	for _, done := range c.mshrBusy[:c.mshrLen] {
+		if done > c.now && done < next {
+			next = done
+		}
+	}
+	if next == never || next <= c.now+1 {
+		return // nothing scheduled, or the event is next cycle anyway
+	}
+	skipped := next - c.now - 1
+	// Each skipped cycle would have run fetch and found it stalled under
+	// the same condition as this cycle (the stall cause cannot clear
+	// inside the region: next <= fetchStall whenever fetchStall is the
+	// binding cause, and a pending branch resolves only on active
+	// cycles). A full fetch buffer does not count as a stall, matching
+	// the reference loop.
+	if c.pendingBranch != 0 || c.now < c.fetchStall {
+		c.Stats.FetchStallCy += skipped
+	}
+	c.now = next - 1
 }
 
 // Now returns the current cycle.
@@ -232,160 +708,283 @@ func (c *Core) Now() uint64 { return c.now }
 // measurement phase can follow a warmup phase.
 func (c *Core) ResetStats() { c.Stats = Stats{} }
 
-// commit retires up to CommitWidth oldest completed entries in order.
-func (c *Core) commit(cycle uint64) {
-	for w := 0; w < c.Cfg.CommitWidth && c.head < c.tail; w++ {
-		e := c.slot(c.head)
-		if !e.issued || e.doneAt > cycle {
-			return
-		}
-		if e.op.IsMem() {
-			c.lsqUsed--
-		}
-		c.head++
-		c.Stats.Instructions++
+// commit retires up to CommitWidth oldest completed entries in order and
+// reports whether anything retired.
+func (c *Core) commit(cycle uint64) bool {
+	done := c.done
+	mask := c.ringMask
+	head := c.head
+	lim := uint64(c.Cfg.CommitWidth)
+	if left := c.tail - head; left < lim {
+		lim = left
 	}
+	n := uint64(0)
+	lsq := 0
+	for n < lim {
+		d := done[head&mask]
+		if d == notIssued || d>>1 > cycle {
+			break
+		}
+		lsq += int(d & 1)
+		head++
+		n++
+	}
+	c.lsqUsed -= lsq
+	if n == 0 {
+		return false
+	}
+	c.head = head
+	c.Stats.Instructions += n
+	return true
 }
 
 // issue selects ready un-issued entries oldest-first, bounded by issue
-// width, FU availability and the scan limit.
-func (c *Core) issue(cycle uint64) {
-	ialu, imul, fpalu, fpmul, mem := c.Cfg.IntALUs, c.Cfg.IntMulDivs, c.Cfg.FPALUs, c.Cfg.FPMulDivs, c.Cfg.MemPorts
-	issued, scanned := 0, 0
-	for seq := c.head; seq < c.tail && issued < c.Cfg.IssueWidth && scanned < c.Cfg.ScanLimit; seq++ {
-		e := c.slot(seq)
-		if e.issued {
-			continue
+// width, FU availability and the scan limit, and reports whether anything
+// issued. The walk covers the ready list — exactly the entries the
+// reference scan finds ready, in the same age order — and the ScanLimit
+// cutoff is applied through each entry's rank among all un-issued
+// entries, which is the position the reference scan would examine it at.
+// Ready entries denied a unit set fuBlocked, which vetoes fast-forwarding
+// (the structural hazard clears on its own next cycle).
+func (c *Core) issue(cycle uint64) bool {
+	rdy := c.rdy
+	n := c.rdyLen
+	if n == 0 {
+		return false
+	}
+	fuCnt := [numFU]int{c.Cfg.IntALUs, c.Cfg.IntMulDivs, c.Cfg.FPALUs, c.Cfg.FPMulDivs, c.Cfg.MemPorts}
+	issued := 0
+	ring := c.ring
+	mask := uint64(len(ring) - 1)
+	width, scanLim := c.Cfg.IssueWidth, c.Cfg.ScanLimit
+	mshrCap := c.Cfg.MSHRs
+	hitLat := uint64(c.DCache.Cfg.HitLatency)
+	// Ranks only need checking when the un-issued population can exceed
+	// the scan limit at all. Entries issued during this walk are removed
+	// from the Fenwick tree, deflating later ranks by exactly the issued
+	// count k (they are all older), so k is added back: the reference
+	// scan's positions are fixed at the start of its cycle.
+	checkRank := c.unissued > scanLim
+	i, k := 0, 0
+	head := c.head
+	for ; i < n && issued < width; i++ {
+		seq := rdy[i]
+		// rank(seq)+k counts un-issued entries older than seq as of the
+		// cycle start, which is at most seq-head: the subtract rules out
+		// a cutoff without touching the bitmap for the common near-head
+		// entries.
+		if checkRank && seq-head >= uint64(scanLim) && c.rank(seq)+k >= scanLim {
+			// Beyond the scan horizon; so is everything younger.
+			break
 		}
-		scanned++
-		if !c.ready(e.src1, cycle) || !c.ready(e.src2, cycle) {
-			continue
-		}
+		e := &ring[seq&mask]
+		ok := false
 		var lat uint64
-		switch e.op {
-		case workload.OpLoad:
-			if mem == 0 {
-				continue
+		op := e.op & 15
+		cls := fuClassTab[op]
+		switch {
+		case fuCnt[cls] == 0:
+			c.fuBlocked = true
+		case cls != fuMem:
+			fuCnt[cls]--
+			lat = latTab[op]
+			ok = true
+		case op == workload.OpLoad:
+			if mshrCap > 0 && !c.mshrAvailable(cycle) {
+				// All miss slots busy; their release times are
+				// events, so no fuBlocked veto.
+			} else {
+				fuCnt[fuMem]--
+				c.Stats.Loads++
+				lat = uint64(c.DCache.Access(e.addr, false, cycle))
+				if lat > hitLat && mshrCap > 0 {
+					c.mshrBusy[c.mshrLen] = cycle + lat
+					c.mshrLen++
+				}
+				ok = true
 			}
-			if c.Cfg.MSHRs > 0 && !c.mshrAvailable(cycle) {
-				continue // all miss slots busy; retry next cycle
-			}
-			mem--
-			c.Stats.Loads++
-			lat = uint64(c.DCache.Access(e.addr, false, cycle))
-			if lat > uint64(c.DCache.Cfg.HitLatency) && c.Cfg.MSHRs > 0 {
-				c.mshrBusy = append(c.mshrBusy, cycle+lat)
-			}
-		case workload.OpStore:
-			if mem == 0 {
-				continue
-			}
-			mem--
+		default: // store
+			fuCnt[fuMem]--
 			c.Stats.Stores++
 			// Store data is buffered; dependents don't wait on
 			// the array write. The access happens now for cache
 			// state and energy.
 			c.DCache.Access(e.addr, true, cycle)
 			lat = 1
-		case workload.OpIntMul:
-			if imul == 0 {
-				continue
-			}
-			imul--
-			lat = opLatency(e.op)
-		case workload.OpFPALU:
-			if fpalu == 0 {
-				continue
-			}
-			fpalu--
-			lat = opLatency(e.op)
-		case workload.OpFPMul:
-			if fpmul == 0 {
-				continue
-			}
-			fpmul--
-			lat = opLatency(e.op)
-		default:
-			if ialu == 0 {
-				continue
-			}
-			ialu--
-			lat = opLatency(e.op)
+			ok = true
 		}
-		e.issued = true
-		e.doneAt = cycle + lat
+		if !ok {
+			// Denied a unit or a miss slot: stays ready, retried next
+			// cycle. Shift down past the entries issued so far.
+			if k > 0 {
+				rdy[i-k] = seq
+			}
+			continue
+		}
+		d := (cycle + lat) << 1
+		if cls == fuMem {
+			d |= 1
+		}
+		s := seq & mask
+		c.done[s] = d
+		c.unb[s>>6] &^= 1 << (s & 63)
+		c.unissued--
 		issued++
+		k++
+		if e.waiters != 0 {
+			c.wakeWaiters(e, cycle)
+		}
 	}
+	if k > 0 {
+		copy(rdy[i-k:], rdy[i:n])
+		c.rdyLen = n - k
+	}
+	return issued > 0
 }
 
-// mshrAvailable reaps completed miss slots and reports whether one is free.
+// mshrAvailable reports whether a miss slot is free, reaping completed
+// slots only when the list is at capacity. Deferring the reap cannot change
+// the verdict — a list below capacity has a free slot regardless — and the
+// stale completion times it leaves behind are skipped by both the reap and
+// the fast-forward scan (done <= now).
 func (c *Core) mshrAvailable(cycle uint64) bool {
-	live := c.mshrBusy[:0]
-	for _, done := range c.mshrBusy {
+	if c.mshrLen < c.Cfg.MSHRs {
+		return true
+	}
+	busy := c.mshrBusy[:c.mshrLen]
+	n := 0
+	for _, done := range busy {
 		if done > cycle {
-			live = append(live, done)
+			busy[n] = done
+			n++
 		}
 	}
-	c.mshrBusy = live
-	return len(c.mshrBusy) < c.Cfg.MSHRs
+	c.mshrLen = n
+	return n < c.Cfg.MSHRs
 }
 
-// dispatch moves fetched instructions into the RUU/LSQ.
-func (c *Core) dispatch(cycle uint64) {
-	for w := 0; w < c.Cfg.DecodeWidth && len(c.fetchBuf) > 0; w++ {
-		if c.tail-c.head >= uint64(c.Cfg.RUUSize) {
-			return
+// dispatch moves fetched instructions into the RUU/LSQ, registers each
+// with the event-driven scheduler, and reports whether anything moved.
+func (c *Core) dispatch(cycle uint64) bool {
+	moved := false
+	head, ruuSize := c.head, uint64(c.Cfg.RUUSize)
+	lsqSize := c.Cfg.LSQSize
+	ring := c.ring
+	done := c.done
+	mask := uint64(len(ring) - 1)
+	for w := 0; w < c.Cfg.DecodeWidth && c.fetchLen > 0; w++ {
+		if c.tail-head >= ruuSize {
+			break
 		}
-		f := c.fetchBuf[0]
-		if f.ins.Op.IsMem() && c.lsqUsed >= c.Cfg.LSQSize {
-			return
+		f := &c.fetchBuf[c.fetchHead]
+		isMem := f.ins.Op.IsMem()
+		if isMem && c.lsqUsed >= lsqSize {
+			break
 		}
-		c.fetchBuf = c.fetchBuf[1:]
-		e := c.slot(f.seq)
-		*e = entry{op: f.ins.Op, addr: f.ins.Addr}
-		if d := uint64(uint32(f.ins.Src1)); d != 0 && f.seq > d {
-			e.src1 = f.seq - d
+		seq := f.seq
+		e := &ring[seq&mask]
+		// Field-by-field initialization of only the fields whose stale
+		// values could be observed. readyAt/link are always written
+		// before their next read (at scheduling and wheel/waiter filing
+		// respectively), and waiters is invariantly zero on a recycled
+		// slot — the previous occupant's chain was drained when it
+		// issued.
+		if d := uint64(uint32(f.ins.Src1)); d != 0 && seq > d {
+			e.src1 = seq - d
+		} else {
+			e.src1 = 0
 		}
-		if d := uint64(uint32(f.ins.Src2)); d != 0 && f.seq > d {
-			e.src2 = f.seq - d
+		if d := uint64(uint32(f.ins.Src2)); d != 0 && seq > d {
+			e.src2 = seq - d
+		} else {
+			e.src2 = 0
 		}
-		if f.ins.Op.IsMem() {
+		e.addr = f.ins.Addr
+		e.op = f.ins.Op
+		if isMem {
 			c.lsqUsed++
 		}
-		c.tail = f.seq + 1
+		c.tail = seq + 1
+		s := seq & mask
+		done[s] = notIssued
+		c.unb[s>>6] |= 1 << (s & 63)
+		c.unissued++
+		// schedule(seq, e, cycle), inlined to reuse the loop's locals —
+		// the per-instruction call was a measurable share of dispatch.
+		if t1, known := readyTime(done, mask, head, e.src1); !known {
+			p := &ring[e.src1&mask]
+			e.link = p.waiters
+			p.waiters = seq
+		} else if t2, known := readyTime(done, mask, head, e.src2); !known {
+			p := &ring[e.src2&mask]
+			e.link = p.waiters
+			p.waiters = seq
+		} else {
+			if t2 > t1 {
+				t1 = t2
+			}
+			if t1 == 0 {
+				t1 = 1 // ready since dispatch; cycles start at 1
+			}
+			e.readyAt = t1
+			switch {
+			case t1 <= cycle:
+				c.rdyInsert(seq)
+			case t1 == cycle+1:
+				c.nextRdy[c.nextRdyLen] = seq
+				c.nextRdyLen++
+			default:
+				c.wheelInsert(seq, t1)
+			}
+		}
+		c.fetchHead = (c.fetchHead + 1) & c.fetchMask
+		c.fetchLen--
+		moved = true
 	}
+	return moved
 }
 
 // fetch brings up to FetchWidth instructions into the fetch buffer,
-// modelling I-cache misses and branch-predictor redirects.
-func (c *Core) fetch(cycle uint64) {
+// modelling I-cache misses and branch-predictor redirects, and reports
+// whether any instruction was fetched. Stall bookkeeping alone does not
+// count as activity — the fast-forward replays it in bulk.
+func (c *Core) fetch(cycle uint64) bool {
 	if c.pendingBranch != 0 {
 		// Waiting on a mispredicted branch. Once it has issued, its
 		// resolution time is known and fetch can be scheduled.
 		if c.pendingBranch < c.tail {
-			if e := c.slot(c.pendingBranch); e.issued {
-				c.fetchStall = e.doneAt + uint64(c.Cfg.MispredictPen)
+			if d := c.done[c.pendingBranch&c.ringMask]; d != notIssued {
+				c.fetchStall = d>>1 + uint64(c.Cfg.MispredictPen)
 				c.pendingBranch = 0
 			}
 		}
 		if c.pendingBranch != 0 {
 			c.Stats.FetchStallCy++
-			return
+			return false
 		}
 	}
 	if cycle < c.fetchStall {
 		c.Stats.FetchStallCy++
-		return
+		return false
 	}
-	if len(c.fetchBuf) >= 2*c.Cfg.FetchWidth {
-		return
+	if c.fetchLen >= 2*c.Cfg.FetchWidth {
+		return false
 	}
 	for w := 0; w < c.Cfg.FetchWidth; w++ {
-		var ins workload.Instr
-		c.Gen.Next(&ins)
+		// Generate straight into the ring slot: Gen.Next overwrites every
+		// Instr field on all paths, so no stale state leaks through and
+		// the struct copy of the old append-based queue disappears.
+		f := &c.fetchBuf[(c.fetchHead+c.fetchLen)&c.fetchMask]
+		ins := &f.ins
+		if g := c.genFast; g != nil {
+			g.Next(ins)
+		} else {
+			c.Gen.Next(ins)
+		}
 		seq := c.nextSeq
 		c.nextSeq++
-		c.fetchBuf = append(c.fetchBuf, fetched{ins, seq})
+		f.seq = seq
+		c.fetchLen++
 
 		stop := false
 
@@ -401,28 +1000,29 @@ func (c *Core) fetch(cycle uint64) {
 
 		if ins.Op.IsCTI() {
 			c.Stats.Branches++
-			misp, bubble := c.predictCTI(&ins)
+			misp, bubble := c.predictCTI(ins)
 			if misp {
 				c.Stats.Mispredicts++
 				c.pendingBranch = seq
-				return
+				return true
 			}
 			if bubble {
 				// Right direction, target from decode: short
 				// front-end bubble.
 				c.fetchStall = cycle + 2
-				return
+				return true
 			}
 			if ins.Taken {
 				// Correct taken prediction: redirected fetch
 				// continues next cycle.
-				return
+				return true
 			}
 		}
 		if stop {
-			return
+			return true
 		}
 	}
+	return true
 }
 
 // predictCTI runs the predictor for a control transfer. mispredict means a

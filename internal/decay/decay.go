@@ -220,3 +220,11 @@ func (m *Machine) Advance(cycle uint64, expire func(line int)) {
 
 // Counter exposes line i's local counter value (tests, adaptive probes).
 func (m *Machine) Counter(i int) uint8 { return m.counters[i] }
+
+// NextRollover returns the cycle of the next global-counter rollover —
+// the only cycle at which Advance does any work. With decay disabled it
+// returns the "never" sentinel (^uint64(0)). The event-driven core uses
+// this to skip Advance calls (and whole idle regions) between rollovers
+// without perturbing expire ordering: calling Advance exactly at the
+// returned cycle is indistinguishable from calling it every cycle.
+func (m *Machine) NextRollover() uint64 { return m.nextRoll }

@@ -1,0 +1,76 @@
+// Package profiling wires the standard CPU/heap/execution-trace profile
+// outputs into a command-line tool. The experiment binaries expose
+// -cpuprofile, -memprofile and -trace flags through it so a slow
+// regeneration can be fed straight to `go tool pprof` / `go tool trace`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start begins whichever profiles have a non-empty output path and returns
+// a stop function that flushes and closes them. The stop function is
+// idempotent and must run before the process exits: os.Exit skips
+// deferred calls, so paths that exit early have to invoke it explicitly.
+func Start(cpuFile, memFile, traceFile string) (stop func(), err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+	}
+	if cpuFile != "" {
+		cpuF, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			cpuF = nil
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	if traceFile != "" {
+		traceF, err = os.Create(traceFile)
+		if err != nil {
+			cleanup()
+			traceF = nil
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cleanup()
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}

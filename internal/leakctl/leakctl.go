@@ -370,8 +370,10 @@ func (d *DCache) wake(i int) {
 	d.Machine.Touch(i)
 }
 
-// Tick advances the decay machinery to cycle. The CPU calls it once per
-// simulated cycle; it is O(1) between global-counter rollovers.
+// Tick advances the decay machinery to cycle. The CPU calls it at every
+// scheduled tick event (see NextTickEvent); calling it every cycle is
+// equally correct, just slower — it is O(1) between global-counter
+// rollovers.
 func (d *DCache) Tick(cycle uint64) {
 	d.curCycle = cycle
 	d.Machine.Advance(cycle, d.expire)
@@ -380,11 +382,29 @@ func (d *DCache) Tick(cycle uint64) {
 	}
 }
 
+// NextTickEvent returns the next cycle at which Tick does observable work:
+// the decay machine's next global-counter rollover or the adapter's next
+// consultation, whichever is sooner (cpu.TickEventer). Between those
+// cycles Tick only re-stamps curCycle, which every state-changing path
+// re-stamps anyway, so the core may skip the calls without changing any
+// counter, energy meter or expire ordering.
+func (d *DCache) NextTickEvent() uint64 {
+	n := d.Machine.NextRollover()
+	if d.Adapter != nil && d.nextAdapt < n {
+		n = d.nextAdapt
+	}
+	return n
+}
+
 // Access implements cache.Level with the technique-specific standby
 // semantics described in the package comment.
 func (d *DCache) Access(addr uint64, write bool, cycle uint64) int {
 	d.curCycle = cycle
-	d.Machine.Advance(cycle, d.expire)
+	// Advance does observable work only at rollovers (its loop condition
+	// is this same compare), so the call is skipped between them.
+	if cycle >= d.Machine.NextRollover() {
+		d.Machine.Advance(cycle, d.expire)
+	}
 	d.Stats.Accesses++
 	d.useStamp++
 	set, tag := d.index(addr)

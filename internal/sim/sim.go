@@ -293,40 +293,93 @@ type Point struct {
 
 // Suite runs comparisons with baseline caching: the uncontrolled run for a
 // (benchmark, L2 latency) pair is simulated once and reused. Baseline is
-// safe for concurrent use.
+// safe for concurrent use and single-flight: concurrent callers that miss
+// the cache elect one simulating leader per profile and the rest wait for
+// its result instead of redundantly simulating the same baseline.
 type Suite struct {
 	MC        MachineConfig
 	mu        sync.Mutex
-	baselines map[string]RunResult
+	baselines map[string]*baselineCell
+}
+
+// baselineCell is one profile's single-flight slot. done is closed when
+// the leader finishes; r/err are immutable afterwards. A failed leader
+// removes its cell before closing done, so later callers retry rather
+// than inheriting a stale error (e.g. the leader's cancelled context).
+type baselineCell struct {
+	done chan struct{}
+	r    RunResult
+	err  error
 }
 
 // NewSuite builds a suite over the given machine.
 func NewSuite(mc MachineConfig) *Suite {
-	return &Suite{MC: mc, baselines: make(map[string]RunResult)}
+	return &Suite{MC: mc, baselines: make(map[string]*baselineCell)}
 }
 
 // Baseline returns (simulating on first use) the uncontrolled run for a
-// profile.
+// profile. Under concurrency each profile's baseline is simulated exactly
+// once per success; waiters respect their own context.
 func (s *Suite) Baseline(ctx context.Context, prof workload.Profile) (RunResult, error) {
-	s.mu.Lock()
-	if r, ok := s.baselines[prof.Name]; ok {
+	for {
+		s.mu.Lock()
+		c, ok := s.baselines[prof.Name]
+		if !ok {
+			c = &baselineCell{done: make(chan struct{})}
+			s.baselines[prof.Name] = c
+			s.mu.Unlock()
+			c.r, c.err = RunOne(ctx, s.MC, prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil)
+			if c.err != nil {
+				s.mu.Lock()
+				delete(s.baselines, prof.Name)
+				s.mu.Unlock()
+			}
+			close(c.done)
+			return c.r, c.err
+		}
 		s.mu.Unlock()
-		return r, nil
+		select {
+		case <-c.done:
+			if c.err == nil {
+				return c.r, nil
+			}
+			// The leader failed; its cell is already removed.
+			// Retry under our own context (which may itself be
+			// done, caught by the other select arm next lap).
+			if ctx != nil && ctx.Err() != nil {
+				return RunResult{}, ctx.Err()
+			}
+		case <-ctxDone(ctx):
+			return RunResult{}, ctx.Err()
+		}
 	}
-	s.mu.Unlock()
-	r, err := RunOne(ctx, s.MC, prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil)
-	if err != nil {
-		return RunResult{}, err
+}
+
+// ctxDone tolerates the nil contexts RunOne also accepts.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
 	}
-	s.SetBaseline(prof.Name, r)
-	return r, nil
+	return ctx.Done()
 }
 
 // SetBaseline seeds the baseline cache with an already-computed run — used
 // when resuming from a checkpoint, so a restored baseline is not re-simulated.
 func (s *Suite) SetBaseline(name string, r RunResult) {
 	s.mu.Lock()
-	s.baselines[name] = r
+	if c, ok := s.baselines[name]; ok {
+		// Overwrite an in-flight or completed cell only if it is done;
+		// an in-flight leader's result would race with the seed.
+		select {
+		case <-c.done:
+		default:
+			s.mu.Unlock()
+			return
+		}
+	}
+	done := make(chan struct{})
+	close(done)
+	s.baselines[name] = &baselineCell{done: done, r: r}
 	s.mu.Unlock()
 }
 

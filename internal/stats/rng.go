@@ -16,6 +16,12 @@ type RNG struct {
 	// spare holds a banked Box-Muller variate for Gaussian sampling.
 	spare    float64
 	hasSpare bool
+	// geomP/geomLogQ memoize Log1p(1-p) for Geometric: the workload
+	// generators draw millions of samples at a handful of fixed p values,
+	// and the log of the constant denominator dominated the sampling
+	// cost. Caching a pure function's value cannot change any drawn bit.
+	geomP    float64
+	geomLogQ float64
 }
 
 // NewRNG returns a generator seeded with seed. Two generators built from the
@@ -49,7 +55,11 @@ func (r *RNG) Intn(n int) int {
 
 // Float64 returns a uniform float64 in [0, 1).
 func (r *RNG) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	// Multiplying by the reciprocal is bit-identical to dividing by
+	// 1<<53: both the constant and every result are exact (scaling by a
+	// power of two never rounds), and the multiply is several times
+	// cheaper than the divide.
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
 // Bool returns true with probability p.
@@ -89,8 +99,109 @@ func (r *RNG) Geometric(p float64) int {
 		}
 		panic("stats: Geometric requires 0 < p <= 1")
 	}
+	if p != r.geomP {
+		r.geomP = p
+		r.geomLogQ = math.Log1p(-p)
+	}
 	u := r.Float64()
-	return int(math.Floor(math.Log1p(-u) / math.Log1p(-p)))
+	return int(math.Floor(math.Log1p(-u) / r.geomLogQ))
+}
+
+// Geom samples a geometric distribution with a fixed success probability,
+// bit-identical to RNG.Geometric(p) but far cheaper per draw: instead of
+// evaluating a logarithm per sample it compares the uniform draw against a
+// precomputed table of outcome boundaries, falling back to the exact
+// logarithm evaluation only inside a guard band around each boundary where
+// floating-point rounding could make the two disagree.
+//
+// Soundness of the fast path: Geometric returns floor(fl(log1p(-u))/logq).
+// The combined relative rounding error of the log1p call and the division
+// is a few ulps, i.e. the computed quotient differs from the real-valued
+// quotient x/logq by less than ~2^-48 |x/logq| <= ~2^-42 (the quotient is
+// at most ~2^6 for float64 inputs). The boundary between outcomes k and
+// k+1 lies at u* = -expm1((k+1)*logq), and near u* a shift du in u moves
+// the quotient by du/((1-u*)*|logq|), so the quotient can only be
+// rounding-ambiguous when |u - u*| < (1-u*)*|logq|*(k+1)*2^-48 <
+// (1-u*)*2^-42. The guard band uses (1-u*)*2^-36 — a factor 2^6 wider —
+// plus the same margin again for the rounding of the precomputed u*
+// itself. Outside the band the table compare and the floor provably agree;
+// inside it (probability ~2^-36 per draw) Next re-evaluates the exact
+// formula on the same u, so the drawn stream is unchanged either way.
+type Geom struct {
+	rng  *RNG
+	p    float64
+	logq float64
+	// lo[k]/hi[k] bracket boundary k+1 (between outcomes k and k+1):
+	// u <= lo[k] is safely outcome <= k, u >= hi[k] safely outcome > k.
+	lo, hi []float64
+	// idx[b] is a u-space bucket index: for u in [b, b+1)/geomBuckets the
+	// answering k is at least idx[b], so the walk starts there instead of
+	// at zero. Sound because hi is increasing: u >= b/geomBuckets >=
+	// hi[k'] for every k' < idx[b], which is exactly the walk's loop
+	// invariant at entry.
+	idx []int32
+}
+
+// geomBuckets is the u-space index granularity for Geom.
+const geomBuckets = 256
+
+// geomTableMax caps the boundary table; outcomes past the table (already
+// reached with probability (1-p)^geomTableMax) use the exact evaluation.
+const geomTableMax = 64
+
+// NewGeom builds a fast sampler equivalent to rng.Geometric(p) for a fixed
+// p in (0, 1).
+func NewGeom(rng *RNG, p float64) *Geom {
+	if p <= 0 || p >= 1 {
+		panic("stats: NewGeom requires 0 < p < 1")
+	}
+	g := &Geom{rng: rng, p: p, logq: math.Log1p(-p)}
+	for k := 1; k <= geomTableMax; k++ {
+		t := -math.Expm1(float64(k) * g.logq) // boundary between k-1 and k
+		if t >= 1 {
+			break
+		}
+		band := (1 - t) * 0x1p-36
+		g.lo = append(g.lo, t-band)
+		g.hi = append(g.hi, t+band)
+	}
+	// idx[b] = the first k not safely excluded for u at bucket b's lower
+	// edge, i.e. the first k with hi[k] > b/geomBuckets.
+	g.idx = make([]int32, geomBuckets)
+	j := 0
+	for b := 0; b < geomBuckets; b++ {
+		t := float64(b) / geomBuckets
+		for j < len(g.hi) && g.hi[j] <= t {
+			j++
+		}
+		g.idx[b] = int32(j)
+	}
+	return g
+}
+
+// exact is RNG.Geometric's computation on an already-drawn u.
+func (g *Geom) exact(u float64) int {
+	return int(math.Floor(math.Log1p(-u) / g.logq))
+}
+
+// Next returns the next sample; the RNG consumes exactly one Float64, as
+// Geometric does.
+func (g *Geom) Next() int {
+	u := g.rng.Float64()
+	hi := g.hi
+	// Invariant: entering iteration k, u is safely at or past boundary k
+	// (trivially true for k = 0, and guaranteed by idx for the bucket
+	// start — see the idx comment). Walking hi alone keeps the loop to
+	// one compare; lo is consulted only once a candidate k is found.
+	for k := int(g.idx[int(u*geomBuckets)]); k < len(hi); k++ {
+		if u < hi[k] {
+			if u < g.lo[k] {
+				return k // safely below boundary k+1
+			}
+			return g.exact(u) // inside the guard band: arbitrate exactly
+		}
+	}
+	return g.exact(u) // past the table's reach
 }
 
 // Exponential returns a sample from an exponential distribution with the
@@ -105,7 +216,16 @@ func (r *RNG) Exponential(mean float64) float64 {
 type Zipf struct {
 	cdf []float64
 	rng *RNG
+	// idx is a coarse bucket index over u-space: for u in bucket b, the
+	// answering rank lies in [idx[b], idx[b+1]], so the binary search
+	// starts a few ranks wide instead of spanning the whole table. The
+	// search still returns the first cdf entry >= u — the narrowed
+	// bounds provably bracket it — so the drawn ranks are identical.
+	idx []int32
 }
+
+// zipfBuckets is the u-space index granularity.
+const zipfBuckets = 256
 
 // NewZipf builds a Zipf sampler over n ranks with exponent s >= 0 (s == 0 is
 // uniform), drawing randomness from rng.
@@ -122,14 +242,28 @@ func NewZipf(rng *RNG, n int, s float64) *Zipf {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
-	return &Zipf{cdf: cdf, rng: rng}
+	// idx[b] is the first rank whose cdf reaches bucket b's lower edge
+	// (clamped to the last rank). For any u in [b, b+1)/zipfBuckets the
+	// first rank with cdf >= u is then >= idx[b] and <= idx[b+1].
+	idx := make([]int32, zipfBuckets+1)
+	j := 0
+	for b := 0; b <= zipfBuckets; b++ {
+		t := float64(b) / zipfBuckets
+		for j < n-1 && cdf[j] < t {
+			j++
+		}
+		idx[b] = int32(j)
+	}
+	return &Zipf{cdf: cdf, rng: rng, idx: idx}
 }
 
 // Next returns the next rank in [0, n).
 func (z *Zipf) Next() int {
 	u := z.rng.Float64()
-	// Binary search for the first cdf entry >= u.
-	lo, hi := 0, len(z.cdf)-1
+	// Binary search for the first cdf entry >= u, bracketed by the
+	// bucket index (u < 1 always, so the bucket is in range).
+	b := int(u * zipfBuckets)
+	lo, hi := int(z.idx[b]), int(z.idx[b+1])
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if z.cdf[mid] < u {

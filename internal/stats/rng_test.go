@@ -215,3 +215,47 @@ func TestGaussianDeterministicPerSeed(t *testing.T) {
 		}
 	}
 }
+
+// TestGeomMatchesGeometric drives the table-based sampler and the exact
+// logarithm evaluation from identical RNG states over a range of success
+// probabilities and checks every draw agrees bit for bit.
+func TestGeomMatchesGeometric(t *testing.T) {
+	for _, p := range []float64{0.999, 0.9, 0.7, 0.5, 0.3, 0.25, 0.1, 0.05, 0.01, 1e-3, 1e-6} {
+		fast := NewGeom(NewRNG(42), p)
+		ref := NewRNG(42)
+		for i := 0; i < 200_000; i++ {
+			got, want := fast.Next(), ref.Geometric(p)
+			if got != want {
+				t.Fatalf("p=%g draw %d: Geom.Next=%d Geometric=%d", p, i, got, want)
+			}
+		}
+	}
+}
+
+// TestZipfIndexMatchesFullSearch checks the bucket-indexed search returns
+// the same rank as an unconstrained binary search over the full table.
+func TestZipfIndexMatchesFullSearch(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{1, 0}, {3, 1.1}, {10, 0}, {257, 0.8}, {4096, 1.0}, {10000, 0.5}} {
+		z := NewZipf(NewRNG(7), tc.n, tc.s)
+		ref := NewRNG(7)
+		for i := 0; i < 100_000; i++ {
+			got := z.Next()
+			u := ref.Float64()
+			lo, hi := 0, len(z.cdf)-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if z.cdf[mid] < u {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if got != lo {
+				t.Fatalf("n=%d s=%g draw %d: indexed=%d full=%d (u=%g)", tc.n, tc.s, i, got, lo, u)
+			}
+		}
+	}
+}

@@ -232,6 +232,21 @@ type Generator struct {
 	runLeft int
 	runAddr uint64
 
+	// depGeom/runGeom are fixed-p fast geometric samplers (bit-identical
+	// to rng.Geometric at the same p) for the two per-instruction draws.
+	depGeom *stats.Geom
+	runGeom *stats.Geom
+
+	// Cached per-draw thresholds. The profile is immutable after
+	// construction, so the cumulative op-class splits and the address
+	// pool boundaries are precomputed rather than re-summed (and the
+	// Profile struct re-copied) for every instruction.
+	cumLoad, cumStore, cumMul, cumFP float64
+	ringTop                          float64
+	// churnLeft counts mem references down to the next pool churn,
+	// replacing the per-reference modulo on memCount.
+	churnLeft int
+
 	instrCount uint64
 	nextPhase  uint64
 }
@@ -247,9 +262,24 @@ func NewGenerator(p Profile) *Generator {
 	g := &Generator{P: p, rng: stats.NewRNG(p.Seed ^ 0x5eed)}
 	g.buildCode()
 	g.buildData()
+	if p.DepP > 0 && p.DepP < 1 {
+		g.depGeom = stats.NewGeom(g.rng, p.DepP)
+	}
+	if p.SpatialRun > 1 {
+		g.runGeom = stats.NewGeom(g.rng, 1/p.SpatialRun)
+	}
 	if p.PhaseJumpEvery > 0 {
 		g.nextPhase = uint64(p.PhaseJumpEvery)
 	}
+	g.cumLoad = p.LoadFrac
+	g.cumStore = g.cumLoad + p.StoreFrac
+	g.cumMul = g.cumStore + p.IntMulFrac
+	g.cumFP = g.cumMul + p.FPFrac
+	g.ringTop = p.PHot
+	if n := len(g.ringCum); n > 0 {
+		g.ringTop = g.ringCum[n-1]
+	}
+	g.churnLeft = p.ChurnPeriod
 	return g
 }
 
@@ -356,21 +386,19 @@ func (g *Generator) nextAddr() uint64 {
 		return g.runAddr
 	}
 	g.memCount++
-	if g.P.ChurnPeriod > 0 && g.memCount%g.P.ChurnPeriod == 0 {
-		g.churn()
+	if g.P.ChurnPeriod > 0 {
+		if g.churnLeft--; g.churnLeft == 0 {
+			g.churn()
+			g.churnLeft = g.P.ChurnPeriod
+		}
 	}
 	var line uint64
 	spatial := false
 	r := g.rng.Float64()
-	p := g.P
-	ringTop := p.PHot
-	if n := len(g.ringCum); n > 0 {
-		ringTop = g.ringCum[n-1]
-	}
 	switch {
-	case r < p.PHot:
+	case r < g.P.PHot:
 		line = g.hotPool[g.hotZ.Next()]
-	case r < ringTop:
+	case r < g.ringTop:
 		ri := 0
 		for g.ringCum[ri] <= r {
 			ri++
@@ -378,7 +406,7 @@ func (g *Generator) nextAddr() uint64 {
 		pool := g.rings[ri]
 		line = pool[g.ringPos[ri]]
 		g.ringPos[ri] = (g.ringPos[ri] + 1) % len(pool)
-	case r < ringTop+p.PFar:
+	case r < g.ringTop+g.P.PFar:
 		// Far accesses are single touches; letting spatial runs walk
 		// into neighbouring far lines would re-touch pool lines at
 		// uncontrolled long gaps and blur the reuse-gap spectrum the
@@ -389,8 +417,8 @@ func (g *Generator) nextAddr() uint64 {
 		spatial = true
 	}
 	addr := line*lineSize + uint64(g.rng.Intn(8))*8
-	if spatial && p.SpatialRun > 1 {
-		g.runLeft = g.rng.Geometric(1 / p.SpatialRun)
+	if spatial && g.P.SpatialRun > 1 {
+		g.runLeft = g.runGeom.Next()
 		g.runAddr = addr
 	}
 	return addr
@@ -416,11 +444,10 @@ func (g *Generator) dep() int32 {
 	if g.P.DepP <= 0 || g.rng.Bool(g.P.DepNoneFrac) {
 		return 0
 	}
-	p := g.P.DepP
-	if p >= 1 {
-		return 1
+	if g.depGeom != nil {
+		return int32(1 + g.depGeom.Next())
 	}
-	return int32(1 + g.rng.Geometric(p))
+	return 1 // DepP >= 1: the chain distance degenerates to the minimum
 }
 
 // Next fills in the next instruction. The stream is unbounded.
@@ -451,18 +478,17 @@ func (g *Generator) Next(ins *Instr) {
 	ins.Target = 0
 
 	r := g.rng.Float64()
-	p := g.P
 	switch {
-	case r < p.LoadFrac:
+	case r < g.cumLoad:
 		ins.Op = OpLoad
 		ins.Addr = g.nextAddr()
-	case r < p.LoadFrac+p.StoreFrac:
+	case r < g.cumStore:
 		ins.Op = OpStore
 		ins.Addr = g.nextAddr()
-	case r < p.LoadFrac+p.StoreFrac+p.IntMulFrac:
+	case r < g.cumMul:
 		ins.Op = OpIntMul
 		ins.Addr = 0
-	case r < p.LoadFrac+p.StoreFrac+p.IntMulFrac+p.FPFrac:
+	case r < g.cumFP:
 		if g.rng.Bool(0.3) {
 			ins.Op = OpFPMul
 		} else {
