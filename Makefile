@@ -23,8 +23,12 @@ verify: build
 # Simulator throughput: five samples of the committed-instruction rate,
 # recorded with date and commit in BENCH_throughput.json for longitudinal
 # comparison against the seed baseline.
+# Note: the bench output is captured with a redirect, not `| tee` — a
+# pipe would report the pipe's exit status and let a failing benchmark
+# masquerade as a pass.
 bench:
-	$(GO) test -run '^$$' -bench=SimulatorThroughput -count=5 . | tee bench_throughput.tmp
+	$(GO) test -run '^$$' -bench=SimulatorThroughput -count=5 . > bench_throughput.tmp || { cat bench_throughput.tmp; rm -f bench_throughput.tmp; exit 1; }
+	cat bench_throughput.tmp
 	awk -v date="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 	    -v commit="$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 	    -v base="$(BASELINE_INSTR_S)" ' \

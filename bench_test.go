@@ -231,8 +231,8 @@ func BenchmarkAblationTagDecay(b *testing.B) {
 			run := must(sim.RunOne(ctx0, mc, prof, pd, nil))
 			base := must(suite.Baseline(ctx0, prof))
 			model.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(110), Vdd: mc.Tech.VddNominal})
-			on := energy.CompareTags(model, mc.L1D, leakage.ModeDrowsy, true,
-				base.Measurement, run.Measurement, mc.Tech.ClockHz)
+			on := must(energy.CompareTags(model, mc.L1D, leakage.ModeDrowsy, true,
+				base.Measurement, run.Measurement, mc.Tech.ClockHz))
 			onS += on.NetSavingsPct
 			onP += on.PerfLossPct
 
@@ -240,8 +240,8 @@ func BenchmarkAblationTagDecay(b *testing.B) {
 			pa.DecayTags = false
 			pa.WakeLatency = 1 // data-only wake: 1-2 cycles per the paper
 			runAwake := must(sim.RunOne(ctx0, mc, prof, pa, nil))
-			off := energy.CompareTags(model, mc.L1D, leakage.ModeDrowsy, false,
-				base.Measurement, runAwake.Measurement, mc.Tech.ClockHz)
+			off := must(energy.CompareTags(model, mc.L1D, leakage.ModeDrowsy, false,
+				base.Measurement, runAwake.Measurement, mc.Tech.ClockHz))
 			offS += off.NetSavingsPct
 			offP += off.PerfLossPct
 		}
@@ -327,8 +327,8 @@ func BenchmarkAblationICache(b *testing.B) {
 				run := must(sim.RunOne(ctx0, mcI, prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil))
 				base := must(suite.Baseline(ctx0, prof))
 				model.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(110), Vdd: mc.Tech.VddNominal})
-				cmp := energy.Compare(model, mc.L1I, tq.Mode(),
-					base.Measurement, *run.IL1Meas, mc.Tech.ClockHz)
+				cmp := must(energy.Compare(model, mc.L1I, tq.Mode(),
+					base.Measurement, *run.IL1Meas, mc.Tech.ClockHz))
 				sum += cmp.NetSavingsPct
 			}
 			if tq == leakctl.TechDrowsy {

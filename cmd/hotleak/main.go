@@ -29,6 +29,7 @@ import (
 	"hotleakage/internal/core"
 	"hotleakage/internal/harness/profiling"
 	"hotleakage/internal/leakage"
+	"hotleakage/internal/obs"
 	"hotleakage/internal/tech"
 )
 
@@ -42,6 +43,7 @@ func main() {
 		vary     = flag.Bool("variation", false, "report inter-die variation multipliers")
 		compare  = flag.String("compare", "", "run the drowsy vs gated-Vss comparison on a benchmark")
 		timeout  = flag.Duration("timeout", 0, "deadline for -compare simulations (0 = none)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address during -compare")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut = flag.String("trace", "", "write an execution trace to this file")
@@ -65,6 +67,15 @@ func main() {
 	defer stopProf()
 
 	if *compare != "" {
+		if *metrics != "" {
+			addr, shutdown, err := obs.Serve(*metrics, obs.Default)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer shutdown()
+			fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+		}
 		code := runCompare(*compare, *tempC, *timeout, *vary)
 		stopProf() // os.Exit skips the deferred stop
 		os.Exit(code)

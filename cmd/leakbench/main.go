@@ -32,6 +32,7 @@ import (
 	"hotleakage/internal/harness/faultinject"
 	"hotleakage/internal/harness/profiling"
 	"hotleakage/internal/leakage"
+	"hotleakage/internal/obs"
 	"hotleakage/internal/sim"
 	"hotleakage/internal/tech"
 )
@@ -55,6 +56,10 @@ func run() int {
 		resume     = flag.Bool("resume", false, "resume from -checkpoint (its header must match -n/-warmup)")
 		maxRetries = flag.Int("max-retries", 2, "re-executions of a transiently failed run")
 		faultSpec  = flag.String("faultinject", "", "inject faults for testing, e.g. panic:1/8[:seed=N][:sticky]")
+		telemetry  = flag.String("telemetry", "", "append JSONL telemetry (periodic snapshots + run trace events) to this file")
+		telemIv    = flag.Duration("telemetry-interval", 2*time.Second, "snapshot period for -telemetry / -progress")
+		metrics    = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/vars on this address, e.g. :9090")
+		progress   = flag.Bool("progress", false, "single-line live progress display on stderr")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut   = flag.String("trace", "", "write an execution trace to this file")
@@ -92,6 +97,38 @@ func run() int {
 			return 2
 		}
 		e.Injector = inj
+	}
+
+	// Observability: JSONL telemetry file (snapshots + harness trace
+	// events joinable to checkpoint records by run key), a scrape
+	// endpoint, and a live single-line progress display.
+	var tw *obs.TraceWriter
+	if *telemetry != "" {
+		f, err := os.OpenFile(*telemetry, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		tw = obs.NewTraceWriter(f)
+		e.Events = tw
+	}
+	if *metrics != "" {
+		addr, shutdown, err := obs.Serve(*metrics, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+	}
+	if tw != nil || *progress {
+		cfg := obs.SamplerConfig{Interval: *telemIv, Trace: tw}
+		if *progress {
+			cfg.Progress = os.Stderr
+		}
+		sampler := obs.StartSampler(cfg)
+		defer sampler.Stop()
 	}
 
 	if !*all && *fig == 0 && *table == 0 {
@@ -141,6 +178,10 @@ func run() int {
 		code = 1
 	}
 	if err := e.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		code = 1
+	}
+	if err := tw.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		code = 1
 	}

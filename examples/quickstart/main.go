@@ -43,7 +43,7 @@ func main() {
 
 	for _, tq := range []leakctl.Technique{leakctl.TechDrowsy, leakctl.TechGated, leakctl.TechRBB} {
 		params := leakctl.DefaultParams(tq, sim.DefaultInterval)
-		p := must(suite.Evaluate(ctx, prof, params, 110, model))
+		p := must(suite.Evaluate(ctx, prof, params, 110, model, nil))
 		r := p.Run
 		fmt.Printf("%-10s net savings %5.1f%%  perf loss %4.2f%%  turnoff %4.1f%%\n",
 			tq, p.Cmp.NetSavingsPct, p.Cmp.PerfLossPct, 100*p.Cmp.TurnoffRatio)

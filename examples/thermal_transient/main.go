@@ -65,10 +65,16 @@ func main() {
 		t := spanMS * float64(i) / float64(phases-1)
 		tempC := tssC - (tssC-t0C)*math.Exp(-t/tauMS)
 		model.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(tempC), Vdd: mc.Tech.VddNominal})
-		d := energy.Compare(model, mc.L1D, leakage.ModeDrowsy,
+		d, err := energy.Compare(model, mc.L1D, leakage.ModeDrowsy,
 			base.Measurement, runs[leakctl.TechDrowsy].Measurement, mc.Tech.ClockHz)
-		g := energy.Compare(model, mc.L1D, leakage.ModeGated,
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := energy.Compare(model, mc.L1D, leakage.ModeGated,
 			base.Measurement, runs[leakctl.TechGated].Measurement, mc.Tech.ClockHz)
+		if err != nil {
+			log.Fatal(err)
+		}
 		avgD += d.NetSavingsPct
 		avgG += g.NetSavingsPct
 		if i%2 == 0 {

@@ -151,6 +151,11 @@ type Cache struct {
 	setMask   uint64
 	lineShift uint
 	useStamp  uint64
+
+	// Observability flush state (see obs.go): counter IDs resolved once,
+	// and the Stats value at the last flush for delta computation.
+	obsIDs  *cacheObsIDs
+	obsPrev Stats
 }
 
 // New builds a cache level on top of next. An invalid configuration is
@@ -199,6 +204,7 @@ func (c *Cache) Tick(uint64) {}
 func (c *Cache) ResetStats() {
 	c.Stats = Stats{}
 	c.DynJ = 0
+	c.obsPrev = Stats{}
 }
 
 // Index splits a byte address into set index and tag.

@@ -39,6 +39,11 @@ type Options struct {
 	Techniques []leakctl.Technique
 	// Variation enables the inter-die Monte Carlo of Section 3.3.
 	Variation bool
+	// NewAdapter, when non-nil, supplies a fresh runtime decay-interval
+	// adapter for each technique run (Section 5.4 adaptive policies). A
+	// fresh adapter per run keeps learned state from leaking across
+	// techniques.
+	NewAdapter func(t leakctl.Technique) leakctl.Adapter
 }
 
 // TechniqueResult is the headline outcome for one technique.
@@ -107,7 +112,11 @@ func CompareTechniquesContext(ctx context.Context, opts Options) (*Result, error
 		if tq == leakctl.TechNone {
 			continue
 		}
-		p, err := suite.Evaluate(ctx, prof, leakctl.DefaultParams(tq, opts.DecayInterval), opts.TempC, model)
+		var adapter leakctl.Adapter
+		if opts.NewAdapter != nil {
+			adapter = opts.NewAdapter(tq)
+		}
+		p, err := suite.Evaluate(ctx, prof, leakctl.DefaultParams(tq, opts.DecayInterval), opts.TempC, model, adapter)
 		if err != nil {
 			return nil, err
 		}

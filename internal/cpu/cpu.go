@@ -241,6 +241,11 @@ type Core struct {
 	DCache *leakctl.DCache
 	Stats  Stats
 
+	// obsPrev is the Stats value at the last ObsFlush; deltas against it
+	// are what the observability shard receives. Rebased by ResetStats so
+	// warmup work is not double-counted.
+	obsPrev Stats
+
 	// DisableFastForward forces strict cycle-by-cycle execution — the
 	// reference behaviour the event-driven loop must match bit for bit.
 	// Tests flip it to prove identity; production runs leave it false.
@@ -706,7 +711,7 @@ func (c *Core) Now() uint64 { return c.now }
 
 // ResetStats zeroes the core's counters (not its architectural state) so a
 // measurement phase can follow a warmup phase.
-func (c *Core) ResetStats() { c.Stats = Stats{} }
+func (c *Core) ResetStats() { c.Stats, c.obsPrev = Stats{}, Stats{} }
 
 // commit retires up to CommitWidth oldest completed entries in order and
 // reports whether anything retired.

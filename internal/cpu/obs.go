@@ -1,0 +1,30 @@
+package cpu
+
+import "hotleakage/internal/obs"
+
+// Core-level counters in the process-wide registry. Flushed as batched
+// deltas from Stats at sim's chunk boundaries — never from the cycle loop.
+var (
+	obsCycles     = obs.Default.Counter("sim_cycles_total")
+	obsInstr      = obs.Default.Counter(obs.MetricInstructions)
+	obsLoads      = obs.Default.Counter("sim_loads_total")
+	obsStores     = obs.Default.Counter("sim_stores_total")
+	obsBranches   = obs.Default.Counter("sim_branches_total")
+	obsMispred    = obs.Default.Counter("sim_mispredicts_total")
+	obsFetchStall = obs.Default.Counter("sim_fetch_stall_cycles_total")
+)
+
+// ObsFlush adds the Stats delta since the previous flush to sh. The caller
+// (sim.RunOneFrom) invokes it between simulation chunks, so the core's hot
+// paths never see an atomic.
+func (c *Core) ObsFlush(sh *obs.Shard) {
+	cur, prev := c.Stats, c.obsPrev
+	sh.Add(obsCycles.ID(), obs.Delta(cur.Cycles, prev.Cycles))
+	sh.Add(obsInstr.ID(), obs.Delta(cur.Instructions, prev.Instructions))
+	sh.Add(obsLoads.ID(), obs.Delta(cur.Loads, prev.Loads))
+	sh.Add(obsStores.ID(), obs.Delta(cur.Stores, prev.Stores))
+	sh.Add(obsBranches.ID(), obs.Delta(cur.Branches, prev.Branches))
+	sh.Add(obsMispred.ID(), obs.Delta(cur.Mispredicts, prev.Mispredicts))
+	sh.Add(obsFetchStall.ID(), obs.Delta(cur.FetchStallCy, prev.FetchStallCy))
+	c.obsPrev = cur
+}

@@ -16,10 +16,20 @@
 package energy
 
 import (
+	"errors"
+	"fmt"
+
 	"hotleakage/internal/cache"
 	"hotleakage/internal/leakage"
 	"hotleakage/internal/leakctl"
 )
+
+// ErrDegenerate reports a comparison whose inputs cannot be scored: a run
+// that committed zero instructions or zero cycles (e.g. a cancelled-then-
+// resumed cell), or a non-positive clock. Scoring such a run would put
+// NaN/Inf percentages into figures and checkpoints; callers get a typed
+// error to test with errors.Is instead.
+var ErrDegenerate = errors.New("energy: degenerate comparison input")
 
 // CacheLeakProfile is the leakage-power decomposition of one cache at one
 // operating point, derived from the HotLeakage model and the cache
@@ -156,12 +166,34 @@ type Comparison struct {
 // Compare evaluates a technique run against its baseline run at the
 // operating point already set on the leakage model. clockHz converts
 // cycles to seconds. Tags decay with lines; use CompareTags otherwise.
-func Compare(m *leakage.Model, cfg cache.Config, mode leakage.Mode, base, tech RunMeasurement, clockHz float64) Comparison {
+// A run with zero committed instructions or cycles, or a non-positive
+// clock, returns ErrDegenerate instead of NaN/Inf percentages.
+func Compare(m *leakage.Model, cfg cache.Config, mode leakage.Mode, base, tech RunMeasurement, clockHz float64) (Comparison, error) {
 	return CompareTags(m, cfg, mode, true, base, tech, clockHz)
 }
 
+// checkMeasurement rejects a degenerate run with a descriptive ErrDegenerate.
+func checkMeasurement(which string, r RunMeasurement) error {
+	if r.Cycles == 0 {
+		return fmt.Errorf("%w: %s run executed zero cycles", ErrDegenerate, which)
+	}
+	if r.Instructions == 0 {
+		return fmt.Errorf("%w: %s run committed zero instructions", ErrDegenerate, which)
+	}
+	return nil
+}
+
 // CompareTags is Compare with explicit tag-decay control (Section 5.3).
-func CompareTags(m *leakage.Model, cfg cache.Config, mode leakage.Mode, decayTags bool, base, tech RunMeasurement, clockHz float64) Comparison {
+func CompareTags(m *leakage.Model, cfg cache.Config, mode leakage.Mode, decayTags bool, base, tech RunMeasurement, clockHz float64) (Comparison, error) {
+	if clockHz <= 0 {
+		return Comparison{}, fmt.Errorf("%w: non-positive clock %v Hz", ErrDegenerate, clockHz)
+	}
+	if err := checkMeasurement("baseline", base); err != nil {
+		return Comparison{}, err
+	}
+	if err := checkMeasurement("technique", tech); err != nil {
+		return Comparison{}, err
+	}
 	lp := NewCacheLeakProfileTags(m, cfg, mode, decayTags)
 
 	secPerCy := 1 / clockHz
@@ -182,9 +214,7 @@ func CompareTags(m *leakage.Model, cfg cache.Config, mode leakage.Mode, decayTag
 	c.BaseLeakJ = baseLeak
 	c.TechLeakJ = techLeak
 	c.ExtraDynJ = extraDyn
-	if base.Cycles > 0 {
-		c.PerfLossPct = 100 * (float64(tech.Cycles) - float64(base.Cycles)) / float64(base.Cycles)
-	}
+	c.PerfLossPct = 100 * (float64(tech.Cycles) - float64(base.Cycles)) / float64(base.Cycles)
 	if totalLineCycles > 0 {
 		c.TurnoffRatio = standby / totalLineCycles
 	}
@@ -195,5 +225,5 @@ func CompareTags(m *leakage.Model, cfg cache.Config, mode leakage.Mode, decayTag
 		c.HardwarePct = 100 * (lp.CtlHardware * tTech) / baseLeak
 		c.DynOverheadPct = 100 * extraDyn / baseLeak
 	}
-	return c
+	return c, nil
 }

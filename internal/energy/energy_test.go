@@ -1,6 +1,7 @@
 package energy
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -63,6 +64,14 @@ func TestBaselineProfileHasNoControlHardware(t *testing.T) {
 	}
 }
 
+// mustCmp unwraps a comparison over inputs the test knows are scorable.
+func mustCmp(c Comparison, err error) Comparison {
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 // mkMeas builds a measurement with the given cycles and standby line-cycles.
 func mkMeas(cycles, standby uint64, dynJ float64) RunMeasurement {
 	return RunMeasurement{
@@ -76,7 +85,7 @@ func mkMeas(cycles, standby uint64, dynJ float64) RunMeasurement {
 func TestIdenticalRunsZeroSavingsAtZeroTurnoff(t *testing.T) {
 	m := hotModel()
 	base := mkMeas(1_000_000, 0, 1e-6)
-	c := Compare(m, dl1Cfg(), leakage.ModeGated, base, base, 5.6e9)
+	c := mustCmp(Compare(m, dl1Cfg(), leakage.ModeGated, base, base, 5.6e9))
 	// Same cycles, no standby: only the control-hardware leakage makes
 	// savings slightly negative.
 	if c.PerfLossPct != 0 {
@@ -96,7 +105,7 @@ func TestFullTurnoffApproachesGross(t *testing.T) {
 	base := mkMeas(1_000_000, 0, 0)
 	lines := uint64(cfg.Sets() * cfg.Assoc)
 	tech := mkMeas(1_000_000, lines*1_000_000, 0)
-	c := Compare(m, cfg, leakage.ModeGated, base, tech, 5.6e9)
+	c := mustCmp(Compare(m, cfg, leakage.ModeGated, base, tech, 5.6e9))
 	if c.TurnoffRatio < 0.999 {
 		t.Fatalf("turnoff = %v", c.TurnoffRatio)
 	}
@@ -116,8 +125,8 @@ func TestDrowsyResidualExceedsGated(t *testing.T) {
 	base := mkMeas(1_000_000, 0, 0)
 	lines := uint64(cfg.Sets() * cfg.Assoc)
 	tech := mkMeas(1_000_000, lines*500_000, 0)
-	dr := Compare(m, cfg, leakage.ModeDrowsy, base, tech, 5.6e9)
-	gt := Compare(m, cfg, leakage.ModeGated, base, tech, 5.6e9)
+	dr := mustCmp(Compare(m, cfg, leakage.ModeDrowsy, base, tech, 5.6e9))
+	gt := mustCmp(Compare(m, cfg, leakage.ModeGated, base, tech, 5.6e9))
 	if dr.ResidualPct <= gt.ResidualPct {
 		t.Fatalf("drowsy residual %v not above gated %v", dr.ResidualPct, gt.ResidualPct)
 	}
@@ -130,7 +139,7 @@ func TestLongerRuntimeCostsEnergy(t *testing.T) {
 	m := hotModel()
 	base := mkMeas(1_000_000, 0, 0)
 	slow := mkMeas(1_100_000, 0, 0)
-	c := Compare(m, dl1Cfg(), leakage.ModeGated, base, slow, 5.6e9)
+	c := mustCmp(Compare(m, dl1Cfg(), leakage.ModeGated, base, slow, 5.6e9))
 	if math.Abs(c.PerfLossPct-10) > 1e-9 {
 		t.Fatalf("perf loss = %v, want 10", c.PerfLossPct)
 	}
@@ -146,8 +155,8 @@ func TestExtraDynamicSubtracted(t *testing.T) {
 	base := mkMeas(1_000_000, 0, 0)
 	techA := mkMeas(1_000_000, lines*800_000, 0)
 	techB := mkMeas(1_000_000, lines*800_000, 2e-6) // 2 uJ of extra dynamic
-	a := Compare(m, cfg, leakage.ModeGated, base, techA, 5.6e9)
-	b := Compare(m, cfg, leakage.ModeGated, base, techB, 5.6e9)
+	a := mustCmp(Compare(m, cfg, leakage.ModeGated, base, techA, 5.6e9))
+	b := mustCmp(Compare(m, cfg, leakage.ModeGated, base, techB, 5.6e9))
 	if b.NetSavingsPct >= a.NetSavingsPct {
 		t.Fatal("extra dynamic energy did not reduce net savings")
 	}
@@ -169,9 +178,9 @@ func TestTemperatureRaisesSavings(t *testing.T) {
 
 	m := leakage.New(p70())
 	m.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(85), Vdd: 0.9})
-	cool := Compare(m, cfg, leakage.ModeGated, base, tech, 5.6e9)
+	cool := mustCmp(Compare(m, cfg, leakage.ModeGated, base, tech, 5.6e9))
 	m.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(110), Vdd: 0.9})
-	hot := Compare(m, cfg, leakage.ModeGated, base, tech, 5.6e9)
+	hot := mustCmp(Compare(m, cfg, leakage.ModeGated, base, tech, 5.6e9))
 	if hot.NetSavingsPct <= cool.NetSavingsPct {
 		t.Fatalf("savings at 110C (%v) not above 85C (%v)", hot.NetSavingsPct, cool.NetSavingsPct)
 	}
@@ -185,7 +194,7 @@ func TestBreakdownIdentity(t *testing.T) {
 	lines := uint64(cfg.Sets() * cfg.Assoc)
 	base := mkMeas(1_000_000, 0, 0)
 	tech := mkMeas(1_000_000, lines*700_000, 5e-7)
-	c := Compare(m, cfg, leakage.ModeGated, base, tech, 5.6e9)
+	c := mustCmp(Compare(m, cfg, leakage.ModeGated, base, tech, 5.6e9))
 	lhs := c.GrossSavingsPct - c.ResidualPct - c.HardwarePct - c.DynOverheadPct
 	if math.Abs(lhs-c.NetSavingsPct) > 0.01 {
 		t.Fatalf("breakdown identity violated: %v vs net %v", lhs, c.NetSavingsPct)
@@ -215,14 +224,63 @@ func TestTagsAwakeRaisesStandbyLinePower(t *testing.T) {
 	}
 }
 
+func TestDegenerateRunsAreTypedErrors(t *testing.T) {
+	// A cancelled-then-resumed cell can surface a measurement with zero
+	// committed instructions or cycles; scoring it used to leak NaN/Inf
+	// percentages into figures and checkpoints.
+	m := hotModel()
+	cfg := dl1Cfg()
+	good := mkMeas(1_000_000, 0, 0)
+	cases := []struct {
+		name       string
+		base, tech RunMeasurement
+		clockHz    float64
+	}{
+		{"zero-cycle baseline", RunMeasurement{Instructions: 5}, good, 5.6e9},
+		{"zero-cycle technique", good, RunMeasurement{Instructions: 5}, 5.6e9},
+		{"zero-instruction baseline", RunMeasurement{Cycles: 5}, good, 5.6e9},
+		{"zero-instruction technique", good, RunMeasurement{Cycles: 5}, 5.6e9},
+		{"empty runs", RunMeasurement{}, RunMeasurement{}, 5.6e9},
+		{"zero clock", good, good, 0},
+		{"negative clock", good, good, -1},
+	}
+	for _, tc := range cases {
+		c, err := Compare(m, cfg, leakage.ModeGated, tc.base, tc.tech, tc.clockHz)
+		if !errors.Is(err, ErrDegenerate) {
+			t.Errorf("%s: err = %v, want ErrDegenerate", tc.name, err)
+		}
+		if c != (Comparison{}) {
+			t.Errorf("%s: non-zero comparison returned alongside the error", tc.name)
+		}
+	}
+}
+
+func TestComparisonsNeverNaN(t *testing.T) {
+	// Every accepted comparison must have finite percentage fields.
+	m := hotModel()
+	cfg := dl1Cfg()
+	base := mkMeas(1_000_000, 0, 0)
+	tech := mkMeas(1_200_000, 12345, 1e-7)
+	c := mustCmp(Compare(m, cfg, leakage.ModeGated, base, tech, 5.6e9))
+	for name, v := range map[string]float64{
+		"net": c.NetSavingsPct, "perf": c.PerfLossPct, "turnoff": c.TurnoffRatio,
+		"gross": c.GrossSavingsPct, "residual": c.ResidualPct,
+		"hardware": c.HardwarePct, "dyn": c.DynOverheadPct,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v", name, v)
+		}
+	}
+}
+
 func TestCompareTagsReducesSavings(t *testing.T) {
 	m := hotModel()
 	cfg := dl1Cfg()
 	lines := uint64(cfg.Sets() * cfg.Assoc)
 	base := mkMeas(1_000_000, 0, 0)
 	tech := mkMeas(1_000_000, lines*800_000, 0)
-	dec := CompareTags(m, cfg, leakage.ModeDrowsy, true, base, tech, 5.6e9)
-	awk := CompareTags(m, cfg, leakage.ModeDrowsy, false, base, tech, 5.6e9)
+	dec := mustCmp(CompareTags(m, cfg, leakage.ModeDrowsy, true, base, tech, 5.6e9))
+	awk := mustCmp(CompareTags(m, cfg, leakage.ModeDrowsy, false, base, tech, 5.6e9))
 	if awk.NetSavingsPct >= dec.NetSavingsPct {
 		t.Fatalf("tags-awake savings %v not below tags-decayed %v",
 			awk.NetSavingsPct, dec.NetSavingsPct)

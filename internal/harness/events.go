@@ -1,0 +1,30 @@
+package harness
+
+import "hotleakage/internal/obs"
+
+// EventSink receives structured trace events from the supervisor. The
+// records carry the job key as RunID — the same string used as the
+// checkpoint identity — so a telemetry stream joins against checkpoint
+// records directly. *obs.TraceWriter satisfies the interface.
+type EventSink interface {
+	Write(obs.Record)
+}
+
+// Supervisor-level counters: low-frequency outcome events, recorded
+// through the registry's shared base shard.
+var (
+	obsRunsCompleted  = obs.Default.Counter(obs.MetricRunsCompleted)
+	obsRunsFailed     = obs.Default.Counter(obs.MetricRunsFailed)
+	obsCheckpointHits = obs.Default.Counter(obs.MetricCheckpointHits)
+	obsRetries        = obs.Default.Counter("harness_retries_total")
+	obsFaults         = obs.Default.Counter("harness_faults_injected_total")
+	obsPanics         = obs.Default.Counter("harness_panics_total")
+)
+
+// emit sends a trace event if a sink is configured; counter side effects
+// happen at the call sites so they fire even without a sink.
+func (s *Supervisor[T]) emit(rec obs.Record) {
+	if s.cfg.Events != nil {
+		s.cfg.Events.Write(rec)
+	}
+}

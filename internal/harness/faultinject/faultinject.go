@@ -77,6 +77,24 @@ type Deterministic struct {
 	Sticky bool
 }
 
+// String renders the canonical spec form (the inverse of Parse), used to
+// record the injector in checkpoint headers. A nil or disabled injector
+// renders as "" — the same as no injection at all.
+func (d *Deterministic) String() string {
+	if d == nil || d.N == 0 || d.Fault == FaultNone {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:1/%d", d.Fault, d.N)
+	if d.Seed != 0 {
+		fmt.Fprintf(&b, ":seed=%d", d.Seed)
+	}
+	if d.Sticky {
+		b.WriteString(":sticky")
+	}
+	return b.String()
+}
+
 // Decide implements Injector.
 func (d *Deterministic) Decide(key string, attempt int) Fault {
 	if d == nil || d.N == 0 || d.Fault == FaultNone {

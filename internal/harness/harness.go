@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hotleakage/internal/harness/faultinject"
+	"hotleakage/internal/obs"
 )
 
 // Job is one supervised unit of work. Key must be unique within a suite
@@ -150,6 +151,11 @@ type Config[T any] struct {
 	// Check validates a produced value before it is accepted; a non-nil
 	// return is treated as a retryable run failure (e.g. NaN energy).
 	Check func(T) error
+	// Events, when non-nil, receives structured trace events (run_start,
+	// run_retry, run_fault, run_done, run_error, checkpoint_hit) keyed by
+	// the job Key, which is also the checkpoint identity. Outcome counters
+	// in the obs registry are updated regardless.
+	Events EventSink
 }
 
 // Supervisor executes batches of jobs under the configured discipline.
@@ -188,6 +194,8 @@ func (s *Supervisor[T]) Run(ctx context.Context, jobs []Job[T]) []Result[T] {
 		// Checkpoint hits resolve inline: no worker, no re-execution.
 		if v, ok := s.lookup(job.Key); ok {
 			results[i] = Result[T]{Key: job.Key, Value: v, FromCheckpoint: true}
+			obsCheckpointHits.Add(1)
+			s.emit(obs.Record{Type: "checkpoint_hit", RunID: job.Key})
 			continue
 		}
 		wg.Add(1)
@@ -230,6 +238,7 @@ func (s *Supervisor[T]) lookup(key string) (T, bool) {
 func (s *Supervisor[T]) runJob(ctx context.Context, job Job[T]) Result[T] {
 	var lastErr error
 	attempts := 0
+	s.emit(obs.Record{Type: "run_start", RunID: job.Key})
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr == nil {
@@ -248,17 +257,28 @@ func (s *Supervisor[T]) runJob(ctx context.Context, job Job[T]) Result[T] {
 				// result itself is still good); see Checkpoint.Err.
 				_ = s.cfg.Checkpoint.Append(job.Key, v)
 			}
+			obsRunsCompleted.Add(1)
+			s.emit(obs.Record{Type: "run_done", RunID: job.Key, Attempt: attempts})
 			return Result[T]{Key: job.Key, Value: v, Attempts: attempts}
 		}
 		lastErr = err
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			obsPanics.Add(1)
+		}
 		if IsPermanent(err) || attempt >= s.cfg.MaxRetries || ctx.Err() != nil {
 			break
 		}
+		obsRetries.Add(1)
+		s.emit(obs.Record{Type: "run_retry", RunID: job.Key, Attempt: attempts, Error: err.Error()})
 		if !sleep(ctx, backoff(s.cfg.Backoff, s.cfg.MaxBackoff, attempt)) {
 			break
 		}
 	}
-	return Result[T]{Key: job.Key, Err: s.runError(job, lastErr, attempts)}
+	re := s.runError(job, lastErr, attempts)
+	obsRunsFailed.Add(1)
+	s.emit(obs.Record{Type: "run_error", RunID: job.Key, Attempt: attempts, Error: re.Error()})
+	return Result[T]{Key: job.Key, Err: re}
 }
 
 // attempt executes the job once, converting a panic into a PanicError and
@@ -276,7 +296,12 @@ func (s *Supervisor[T]) attempt(ctx context.Context, job Job[T], n int) (v T, er
 		}
 	}()
 	if s.cfg.Injector != nil {
-		switch s.cfg.Injector.Decide(job.Key, n) {
+		decision := s.cfg.Injector.Decide(job.Key, n)
+		if decision != faultinject.FaultNone {
+			obsFaults.Add(1)
+			s.emit(obs.Record{Type: "run_fault", RunID: job.Key, Attempt: n + 1, Detail: decision.String()})
+		}
+		switch decision {
 		case faultinject.FaultPanic:
 			panic(fmt.Sprintf("faultinject: injected panic into %s (attempt %d)", job.Key, n))
 		case faultinject.FaultError:

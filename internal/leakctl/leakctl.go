@@ -241,6 +241,12 @@ type DCache struct {
 	finalCycles     uint64
 	statsStart      uint64        // cycle at which measurement began
 	machineBase     decay.Machine // counter-stat snapshot at measurement start
+
+	// Observability flush state (see obs.go): counter IDs resolved once,
+	// plus the Stats/AdaptChanges values at the last flush.
+	obsIDs       *dcacheObsIDs
+	obsPrev      Stats
+	obsPrevAdapt uint64
 }
 
 // New builds a controlled L1 D-cache over next. Technique TechNone with
@@ -589,6 +595,7 @@ func (d *DCache) ResetStats(cycle uint64) {
 	d.settleDebt = 0
 	d.statsStart = cycle
 	d.machineBase = *d.Machine
+	d.obsPrev = Stats{}
 }
 
 // Finish closes the occupancy accounting at the end-of-run cycle and fills

@@ -1,0 +1,70 @@
+package leakctl
+
+import (
+	"fmt"
+
+	"hotleakage/internal/obs"
+)
+
+// dcacheObsIDs caches per-instance counter IDs (leakctl_dl1_*,
+// leakctl_il1_* when the I-cache is controlled) so the per-chunk flush
+// never takes the registry lock.
+type dcacheObsIDs struct {
+	accesses, hits, slowHits, misses     obs.CounterID
+	inducedMisses, trueMisses            obs.CounterID
+	tagWakeStalls                        obs.CounterID
+	sleepTransitions, wakeTransitions    obs.CounterID
+	decayWritebacks, evictWritebacks     obs.CounterID
+	fills, wakePenaltyCycles, adaptTunes obs.CounterID
+}
+
+func newDCacheObsIDs(name string) *dcacheObsIDs {
+	c := func(kind string) obs.CounterID {
+		return obs.Default.Counter(fmt.Sprintf("leakctl_%s_%s_total", name, kind)).ID()
+	}
+	return &dcacheObsIDs{
+		accesses:          c("accesses"),
+		hits:              c("hits"),
+		slowHits:          c("slow_hits"),
+		misses:            c("misses"),
+		inducedMisses:     c("induced_misses"),
+		trueMisses:        c("true_misses"),
+		tagWakeStalls:     c("tag_wake_stalls"),
+		sleepTransitions:  c("sleep_transitions"),
+		wakeTransitions:   c("wake_transitions"),
+		decayWritebacks:   c("decay_writebacks"),
+		evictWritebacks:   c("evict_writebacks"),
+		fills:             c("fills"),
+		wakePenaltyCycles: c("wake_penalty_cycles"),
+		adaptTunes:        c("adapter_retunes"),
+	}
+}
+
+// ObsFlush adds the Stats delta since the previous flush to sh. The
+// wake-penalty-cycles counter is derived: every slow hit and every
+// tag-wake-stalled miss costs the pipeline WakeLatency extra cycles
+// (Access/finishHit), so the counter is their sum scaled by the latency.
+func (d *DCache) ObsFlush(sh *obs.Shard) {
+	if d.obsIDs == nil {
+		d.obsIDs = newDCacheObsIDs(d.Cfg.Name)
+	}
+	cur, prev := d.Stats, d.obsPrev
+	ids := d.obsIDs
+	sh.Add(ids.accesses, obs.Delta(cur.Accesses, prev.Accesses))
+	sh.Add(ids.hits, obs.Delta(cur.Hits, prev.Hits))
+	sh.Add(ids.slowHits, obs.Delta(cur.SlowHits, prev.SlowHits))
+	sh.Add(ids.misses, obs.Delta(cur.Misses, prev.Misses))
+	sh.Add(ids.inducedMisses, obs.Delta(cur.InducedMisses, prev.InducedMisses))
+	sh.Add(ids.trueMisses, obs.Delta(cur.TrueMisses, prev.TrueMisses))
+	sh.Add(ids.tagWakeStalls, obs.Delta(cur.TagWakeStalls, prev.TagWakeStalls))
+	sh.Add(ids.sleepTransitions, obs.Delta(cur.SleepTransitions, prev.SleepTransitions))
+	sh.Add(ids.wakeTransitions, obs.Delta(cur.WakeTransitions, prev.WakeTransitions))
+	sh.Add(ids.decayWritebacks, obs.Delta(cur.DecayWritebacks, prev.DecayWritebacks))
+	sh.Add(ids.evictWritebacks, obs.Delta(cur.EvictWritebacks, prev.EvictWritebacks))
+	sh.Add(ids.fills, obs.Delta(cur.Fills, prev.Fills))
+	stalled := obs.Delta(cur.SlowHits, prev.SlowHits) + obs.Delta(cur.TagWakeStalls, prev.TagWakeStalls)
+	sh.Add(ids.wakePenaltyCycles, stalled*uint64(d.P.WakeLatency))
+	sh.Add(ids.adaptTunes, obs.Delta(d.AdaptChanges, d.obsPrevAdapt))
+	d.obsPrev = cur
+	d.obsPrevAdapt = d.AdaptChanges
+}

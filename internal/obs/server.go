@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on
+// duplicate names, and Serve may be called once per binary but tests may
+// spin up several servers against the same process.
+var publishOnce sync.Once
+
+// Serve exposes reg for scraping on addr:
+//
+//	/metrics     Prometheus text exposition format
+//	/debug/vars  standard expvar JSON (the registry is published under
+//	             the "obs" key alongside the runtime's memstats/cmdline)
+//
+// It returns the bound listener address (useful with ":0") and a shutdown
+// func. Handler errors never affect the simulation: the server runs on its
+// own goroutine and shutdown is best-effort.
+func Serve(addr string, reg *Registry) (string, func(), error) {
+	if reg == nil {
+		reg = Default
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

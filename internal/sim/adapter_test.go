@@ -1,0 +1,75 @@
+package sim
+
+// Regression tests for the hardwired-nil-adapter bug: Suite.Evaluate used
+// to pass nil to RunOne regardless of caller intent, so the Section 5.4
+// adaptive policies were unreachable through the suite path (and through
+// Experiments, which runs everything via the suite's machines).
+
+import (
+	"context"
+	"testing"
+
+	"hotleakage/internal/adaptive"
+	"hotleakage/internal/leakage"
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/workload"
+)
+
+// aggressiveFeedback is a controller tuned to reprogram the interval many
+// times within a short test run: tiny window, near-zero tolerance.
+func aggressiveFeedback(start uint64) *adaptive.Feedback {
+	fb := adaptive.NewFeedback(start, 0.01)
+	fb.Window = 2048
+	return fb
+}
+
+func TestSuiteEvaluatePlumbsAdapter(t *testing.T) {
+	prof, _ := workload.ByName("gcc")
+	s := NewSuite(fastMachine(11))
+	m := leakage.New(s.MC.Tech)
+	params := leakctl.DefaultParams(leakctl.TechDrowsy, 4096)
+
+	fixed := mustT(s.Evaluate(context.Background(), prof, params, 110, m, nil))
+
+	fb := aggressiveFeedback(4096)
+	adapted := mustT(s.Evaluate(context.Background(), prof, params, 110, m, fb))
+
+	if fb.Changes == 0 {
+		t.Fatal("adapter never reprogrammed the interval through Suite.Evaluate — the suite path is dropping the adapter")
+	}
+	if adapted.Run.DStats == fixed.Run.DStats {
+		t.Fatal("adaptive run has identical D-cache stats to the fixed-interval run; adapter had no effect on the simulation")
+	}
+}
+
+func TestExperimentsAdapterForReachesRuns(t *testing.T) {
+	fixed := tinyExperiments()
+	fixed.Parallel = false
+	prof := fixed.Profiles[0]
+	base, err := fixed.run(prof, 5, leakctl.TechDrowsy, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adapted := tinyExperiments()
+	adapted.Parallel = false
+	calls := 0
+	adapted.AdapterFor = func(bench string, tq leakctl.Technique, iv uint64) leakctl.Adapter {
+		calls++
+		if tq == leakctl.TechNone {
+			return nil // baselines stay uncontrolled
+		}
+		return aggressiveFeedback(iv)
+	}
+	r, err := adapted.run(prof, 5, leakctl.TechDrowsy, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if calls == 0 {
+		t.Fatal("AdapterFor never consulted by the supervised job")
+	}
+	if r.DStats == base.DStats {
+		t.Fatal("AdapterFor-supplied adapter had no effect on the supervised run")
+	}
+}

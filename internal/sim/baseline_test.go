@@ -1,0 +1,174 @@
+package sim
+
+// White-box tests for the Suite.Baseline single-flight protocol: leader
+// election, waiter retry after a failed leader, SetBaseline seeding, and
+// cancellation while waiting. Run these under -race (make verify does).
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hotleakage/internal/obs"
+	"hotleakage/internal/workload"
+)
+
+// inflightCell plants an unfinished leader cell for name, as if another
+// goroutine were mid-simulation, and returns it.
+func inflightCell(s *Suite, name string) *baselineCell {
+	c := &baselineCell{done: make(chan struct{})}
+	s.mu.Lock()
+	s.baselines[name] = c
+	s.mu.Unlock()
+	return c
+}
+
+func TestBaselineWaitersShareTheLeaderResult(t *testing.T) {
+	s := NewSuite(fastMachine(5))
+	prof, _ := workload.ByName("gcc")
+	c := inflightCell(s, prof.Name)
+
+	const waiters = 8
+	results := make(chan RunResult, waiters)
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			r, err := s.Baseline(context.Background(), prof)
+			results <- r
+			errs <- err
+		}()
+	}
+
+	// Complete the planted leader with a sentinel result no simulation
+	// could produce. If any waiter simulated on its own it would return
+	// a real run instead.
+	c.r = RunResult{Bench: "sentinel"}
+	close(c.done)
+	for i := 0; i < waiters; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("waiter error: %v", err)
+		}
+		if r := <-results; r.Bench != "sentinel" {
+			t.Fatalf("waiter simulated its own baseline (got bench %q)", r.Bench)
+		}
+	}
+}
+
+func TestBaselineWaiterRetriesAfterLeaderFailure(t *testing.T) {
+	s := NewSuite(fastMachine(5))
+	prof, _ := workload.ByName("gcc")
+	c := inflightCell(s, prof.Name)
+
+	type out struct {
+		r   RunResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		r, err := s.Baseline(context.Background(), prof)
+		done <- out{r, err}
+	}()
+
+	// Fail the leader the way Baseline does: remove the cell first, then
+	// publish the error. The waiter must not inherit it.
+	s.mu.Lock()
+	delete(s.baselines, prof.Name)
+	s.mu.Unlock()
+	c.err = errors.New("leader context cancelled")
+	close(c.done)
+
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("waiter inherited the failed leader's error: %v", o.err)
+	}
+	if o.r.Bench != prof.Name || o.r.CPU.Cycles == 0 {
+		t.Fatalf("retrying waiter produced no real run: %+v", o.r.Bench)
+	}
+	// The retry's result must now be cached for everyone else.
+	again := mustT(s.Baseline(context.Background(), prof))
+	if again != o.r {
+		t.Fatal("retried baseline not cached")
+	}
+}
+
+func TestBaselineWaiterCancellation(t *testing.T) {
+	s := NewSuite(fastMachine(5))
+	prof, _ := workload.ByName("gcc")
+	inflightCell(s, prof.Name) // never completed
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Baseline(ctx, prof)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter still blocked on a stuck leader")
+	}
+}
+
+func TestSetBaselineDoesNotClobberInflightLeader(t *testing.T) {
+	s := NewSuite(fastMachine(5))
+	prof, _ := workload.ByName("gcc")
+	c := inflightCell(s, prof.Name)
+
+	// Seeding while the leader is mid-flight must be a no-op: the seed
+	// would race with the leader's own write into the cell.
+	s.SetBaseline(prof.Name, RunResult{Bench: "seed"})
+	s.mu.Lock()
+	cur := s.baselines[prof.Name]
+	s.mu.Unlock()
+	if cur != c {
+		t.Fatal("SetBaseline replaced an in-flight cell")
+	}
+
+	// Once the leader is done the seed may replace it.
+	c.r = RunResult{Bench: "leader"}
+	close(c.done)
+	s.SetBaseline(prof.Name, RunResult{Bench: "seed"})
+	if r := mustT(s.Baseline(context.Background(), prof)); r.Bench != "seed" {
+		t.Fatalf("post-completion seed ignored, Baseline returned %q", r.Bench)
+	}
+}
+
+func TestBaselineSingleFlightUnderContention(t *testing.T) {
+	// Black-box: many concurrent callers, one simulation. The obs
+	// instruction counter is the witness — a second redundant run would
+	// double the delta.
+	mc := fastMachine(5)
+	s := NewSuite(mc)
+	prof, _ := workload.ByName("gcc")
+	before := obs.Default.Snapshot().Counters[obs.MetricInstructions]
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]RunResult, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = mustT(s.Baseline(context.Background(), prof))
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different baseline", i)
+		}
+	}
+
+	after := obs.Default.Snapshot().Counters[obs.MetricInstructions]
+	perRun := mc.Warmup + mc.Instructions
+	if delta := after - before; delta >= 2*perRun {
+		t.Fatalf("instruction delta %d implies %d simulations for one baseline (want 1)",
+			delta, delta/perRun)
+	}
+}

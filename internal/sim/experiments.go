@@ -14,8 +14,13 @@ import (
 	"hotleakage/internal/harness/faultinject"
 	"hotleakage/internal/leakage"
 	"hotleakage/internal/leakctl"
+	"hotleakage/internal/obs"
 	"hotleakage/internal/workload"
 )
+
+// obsCellsPlanned tracks how many cells the suite has planned so far; the
+// sampler pairs it with the harness outcome counters for progress/ETA.
+var obsCellsPlanned = obs.Default.Gauge(obs.GaugeCellsPlanned)
 
 // DefaultInterval is the fixed decay interval used for the non-adaptive
 // figures. The paper chose "shorter decay intervals that — for our leakage
@@ -33,11 +38,31 @@ const checkpointVersion = 1
 
 // ckptHeader fingerprints the configuration a checkpoint was produced
 // under. Resuming against a mismatched header is refused, so results from
-// a different -n/-warmup are never silently reused.
+// a different -n/-warmup are never silently reused, and a resumed sweep
+// cannot mix faulted and clean cells: the fault-injection spec is part of
+// the fingerprint (omitted when empty, so clean checkpoints keep their
+// original header form).
 type ckptHeader struct {
 	Version      int    `json:"version"`
 	Instructions uint64 `json:"instructions"`
 	Warmup       uint64 `json:"warmup"`
+	FaultInject  string `json:"faultinject,omitempty"`
+}
+
+// injectorSpec renders an injector for the checkpoint header. Only
+// injectors that can describe themselves — notably the flag-built
+// faultinject.Deterministic, whose String is the canonical spec — are
+// fingerprinted; an anonymous test injector (faultinject.Func) has no
+// stable description and stays outside the header contract. Failed runs
+// are never checkpointed and NaN-corrupted ones are rejected by checkRun,
+// so the values in a checkpoint are clean either way — the header guard's
+// job is to keep a resumed *flag-driven* sweep from silently changing its
+// injection config between passes.
+func injectorSpec(inj faultinject.Injector) string {
+	if s, ok := inj.(fmt.Stringer); ok {
+		return s.String()
+	}
+	return ""
 }
 
 // Experiments runs and caches every simulation the paper's figures need.
@@ -77,6 +102,15 @@ type Experiments struct {
 	// JSON-lines file; Resume loads it first so only missing runs execute.
 	CheckpointPath string
 	Resume         bool
+	// Events, when non-nil, receives the supervisor's structured trace
+	// events (run start/retry/fault/done/error, checkpoint hits), keyed by
+	// the run key so they join against checkpoint records.
+	Events harness.EventSink
+	// AdapterFor, when non-nil, supplies the leakage-control adapter for
+	// each run (adaptive-decay studies through the supervised path). It is
+	// invoked once per attempt so retried runs get fresh adapter state and
+	// stay deterministic.
+	AdapterFor func(bench string, t leakctl.Technique, interval uint64) leakctl.Adapter
 
 	mu       sync.Mutex
 	suites   map[int]*Suite // per L2 latency
@@ -152,7 +186,12 @@ func (e *Experiments) supervisor() (*harness.Supervisor[RunResult], error) {
 	if e.CheckpointPath != "" {
 		var err error
 		ckpt, err = harness.OpenCheckpoint(e.CheckpointPath,
-			ckptHeader{Version: checkpointVersion, Instructions: e.Instructions, Warmup: e.Warmup},
+			ckptHeader{
+				Version:      checkpointVersion,
+				Instructions: e.Instructions,
+				Warmup:       e.Warmup,
+				FaultInject:  injectorSpec(e.Injector),
+			},
 			e.Resume)
 		if err != nil {
 			e.supErr = err
@@ -171,6 +210,7 @@ func (e *Experiments) supervisor() (*harness.Supervisor[RunResult], error) {
 		Injector:   e.Injector,
 		Checkpoint: ckpt,
 		Check:      checkRun,
+		Events:     e.Events,
 	})
 	return e.sup, nil
 }
@@ -217,7 +257,13 @@ func (e *Experiments) jobFor(sp runSpec) harness.Job[RunResult] {
 		Technique: sp.tech.String(),
 		Run: func(ctx context.Context) (RunResult, error) {
 			params := leakctl.DefaultParams(sp.tech, sp.interval)
-			r, err := RunOne(ctx, s.MC, sp.prof, params, nil)
+			// Fresh adapter state per attempt: a retried run must not
+			// inherit the failed attempt's learned intervals.
+			var adapter leakctl.Adapter
+			if e.AdapterFor != nil {
+				adapter = e.AdapterFor(sp.prof.Name, sp.tech, sp.interval)
+			}
+			r, err := RunOne(ctx, s.MC, sp.prof, params, adapter)
 			if err != nil {
 				if errors.Is(err, ErrInvalidConfig) {
 					return RunResult{}, harness.Permanent(err)
@@ -264,6 +310,9 @@ func (e *Experiments) runSpecs(specs []runSpec) error {
 	if len(pending) == 0 {
 		return nil
 	}
+	// Progress accounting for the sampler's ETA: every pending spec is one
+	// planned cell; the harness outcome counters record completions.
+	obsCellsPlanned.Add(int64(len(pending)))
 
 	jobs := make([]harness.Job[RunResult], len(pending))
 	for i, sp := range pending {

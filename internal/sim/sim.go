@@ -17,6 +17,7 @@ import (
 	"hotleakage/internal/energy"
 	"hotleakage/internal/leakage"
 	"hotleakage/internal/leakctl"
+	"hotleakage/internal/obs"
 	"hotleakage/internal/tech"
 	"hotleakage/internal/workload"
 )
@@ -145,8 +146,10 @@ func RunOne(ctx context.Context, mc MachineConfig, prof workload.Profile, params
 const runChunk = 50_000
 
 // runCommitted advances the core by n committed instructions, honouring
-// cancellation between chunks, and returns the cumulative stats.
-func runCommitted(ctx context.Context, core *cpu.Core, n uint64) (cpu.Stats, error) {
+// cancellation between chunks, and returns the cumulative stats. flush, if
+// non-nil, runs after every chunk — the observability layer's batched
+// counter flush, deliberately off the simulate loop's hot path.
+func runCommitted(ctx context.Context, core *cpu.Core, n uint64, flush func()) (cpu.Stats, error) {
 	var cs cpu.Stats
 	for done := uint64(0); done < n; {
 		if err := ctx.Err(); err != nil {
@@ -158,6 +161,9 @@ func runCommitted(ctx context.Context, core *cpu.Core, n uint64) (cpu.Stats, err
 		}
 		cs = core.Run(step)
 		done += step
+		if flush != nil {
+			flush()
+		}
 	}
 	return cs, nil
 }
@@ -208,8 +214,23 @@ func RunOneFrom(ctx context.Context, mc MachineConfig, name string, src cpu.Inst
 	pred := bpred.New(mc.Bpred)
 	core := cpu.New(mc.CPU, src, pred, l1i, dl1)
 
+	// Observability: this run-goroutine's private counter shard, flushed
+	// as batched deltas at chunk boundaries and merged on snapshot.
+	sh := obs.Default.AcquireShard()
+	defer sh.Release()
+	flush := func() {
+		core.ObsFlush(sh)
+		dl1.ObsFlush(sh)
+		l2.ObsFlush(sh)
+		if il1Plain != nil {
+			il1Plain.ObsFlush(sh)
+		} else {
+			il1Ctl.ObsFlush(sh)
+		}
+	}
+
 	if mc.Warmup > 0 {
-		if _, err := runCommitted(ctx, core, mc.Warmup); err != nil {
+		if _, err := runCommitted(ctx, core, mc.Warmup, flush); err != nil {
 			return RunResult{}, err
 		}
 		core.ResetStats()
@@ -223,7 +244,7 @@ func RunOneFrom(ctx context.Context, mc MachineConfig, name string, src cpu.Inst
 			il1Ctl.ResetStats(core.Now())
 		}
 	}
-	cs, err := runCommitted(ctx, core, mc.Instructions)
+	cs, err := runCommitted(ctx, core, mc.Instructions, flush)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -384,11 +405,13 @@ func (s *Suite) SetBaseline(name string, r RunResult) {
 }
 
 // Evaluate runs one technique on one benchmark and scores it at the given
-// temperature (Celsius). The leakage model is re-environmented, so a Suite
-// can score the same timing run at several temperatures cheaply via
+// temperature (Celsius). adapter, if non-nil, is installed on the
+// controlled cache (adaptive-decay studies run through the suite path like
+// any other configuration). The leakage model is re-environmented, so a
+// Suite can score the same timing run at several temperatures cheaply via
 // EvaluateRun.
-func (s *Suite) Evaluate(ctx context.Context, prof workload.Profile, params leakctl.Params, tempC float64, m *leakage.Model) (Point, error) {
-	run, err := RunOne(ctx, s.MC, prof, params, nil)
+func (s *Suite) Evaluate(ctx context.Context, prof workload.Profile, params leakctl.Params, tempC float64, m *leakage.Model, adapter leakctl.Adapter) (Point, error) {
+	run, err := RunOne(ctx, s.MC, prof, params, adapter)
 	if err != nil {
 		return Point{}, err
 	}
@@ -403,8 +426,11 @@ func (s *Suite) EvaluateRun(ctx context.Context, prof workload.Profile, run RunR
 		return Point{}, err
 	}
 	m.SetEnv(leakage.Env{TempK: leakage.CelsiusToKelvin(tempC), Vdd: s.MC.Tech.VddNominal})
-	cmp := energy.Compare(m, s.MC.L1D, run.Params.Technique.Mode(),
+	cmp, err := energy.Compare(m, s.MC.L1D, run.Params.Technique.Mode(),
 		base.Measurement, run.Measurement, s.MC.Tech.ClockHz)
+	if err != nil {
+		return Point{}, err
+	}
 	return Point{
 		Bench:     prof.Name,
 		Technique: run.Params.Technique,

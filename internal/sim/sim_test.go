@@ -82,7 +82,7 @@ func TestEvaluateProducesSaneComparison(t *testing.T) {
 	s := NewSuite(mc)
 	m := leakage.New(mc.Tech)
 	prof, _ := workload.ByName("gcc")
-	p := mustT(s.Evaluate(context.Background(), prof, leakctl.DefaultParams(leakctl.TechDrowsy, 4096), 110, m))
+	p := mustT(s.Evaluate(context.Background(), prof, leakctl.DefaultParams(leakctl.TechDrowsy, 4096), 110, m, nil))
 	if p.Cmp.NetSavingsPct < 10 || p.Cmp.NetSavingsPct > 95 {
 		t.Fatalf("drowsy net savings %v implausible", p.Cmp.NetSavingsPct)
 	}

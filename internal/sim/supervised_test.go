@@ -233,3 +233,77 @@ func TestNaNInjectionIsRetried(t *testing.T) {
 		t.Fatalf("unexpected failures: %+v", e.Failures())
 	}
 }
+
+// ckptWith opens (and immediately closes) a checkpoint at path under the
+// given injector, leaving only the header on disk.
+func ckptWith(t *testing.T, path string, inj faultinject.Injector) {
+	t.Helper()
+	e := tinyExperiments()
+	e.CheckpointPath = path
+	e.Injector = inj
+	if err := e.Init(); err != nil {
+		t.Fatalf("writing checkpoint header: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumeRefusedOnFaultConfigMismatch(t *testing.T) {
+	// The fault-injection spec is part of the checkpoint fingerprint: a
+	// resumed flag-driven sweep must not silently change what it injects
+	// between passes.
+	inj := func() *faultinject.Deterministic {
+		// Fires on ~1 in 2^40 keys: a realistic nonempty spec that will
+		// never actually trigger here.
+		return &faultinject.Deterministic{Fault: faultinject.FaultError, N: 1 << 40, Seed: 7}
+	}
+
+	resume := func(path string, in faultinject.Injector) error {
+		e := tinyExperiments()
+		e.CheckpointPath = path
+		e.Resume = true
+		e.Injector = in
+		err := e.Init()
+		if cerr := e.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+
+	faulted := filepath.Join(t.TempDir(), "faulted.json")
+	ckptWith(t, faulted, inj())
+
+	// Dropping the injector on resume is refused...
+	if err := resume(faulted, nil); err == nil || !strings.Contains(err.Error(), "different settings") {
+		t.Fatalf("resume without the injector: err = %v, want settings mismatch", err)
+	}
+	// ...as is changing its spec...
+	weaker := inj()
+	weaker.N = 1 << 20
+	if err := resume(faulted, weaker); err == nil || !strings.Contains(err.Error(), "different settings") {
+		t.Fatalf("resume with a different spec: err = %v, want settings mismatch", err)
+	}
+	// ...but an identical spec (a fresh value with the same fields, as
+	// flag re-parsing produces) resumes fine.
+	if err := resume(faulted, inj()); err != nil {
+		t.Fatalf("resume with the matching spec refused: %v", err)
+	}
+
+	// The other direction: a clean checkpoint refuses a -faultinject resume.
+	clean := filepath.Join(t.TempDir(), "clean.json")
+	ckptWith(t, clean, nil)
+	if err := resume(clean, inj()); err == nil || !strings.Contains(err.Error(), "different settings") {
+		t.Fatalf("clean checkpoint accepted a faulted resume: err = %v", err)
+	}
+	// A disabled Deterministic renders as the empty spec — no injection
+	// is no injection, however it is spelled.
+	if err := resume(clean, &faultinject.Deterministic{}); err != nil {
+		t.Fatalf("clean checkpoint refused a disabled injector: %v", err)
+	}
+	// Anonymous test injectors (faultinject.Func) are outside the header
+	// contract and do not perturb the fingerprint.
+	if err := resume(clean, panicKey("nope")); err != nil {
+		t.Fatalf("clean checkpoint refused an anonymous injector: %v", err)
+	}
+}
