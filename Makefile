@@ -6,7 +6,7 @@ GO ?= go
 #   make bench BASELINE_INSTR_S=...
 BASELINE_INSTR_S ?= 1990000
 
-.PHONY: build test verify bench bench-all clean
+.PHONY: build test verify bench bench-throughput bench-sweep bench-all clean
 
 build:
 	$(GO) build ./...
@@ -20,13 +20,15 @@ verify: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+bench: bench-throughput bench-sweep
+
 # Simulator throughput: five samples of the committed-instruction rate,
 # recorded with date and commit in BENCH_throughput.json for longitudinal
 # comparison against the seed baseline.
 # Note: the bench output is captured with a redirect, not `| tee` — a
 # pipe would report the pipe's exit status and let a failing benchmark
 # masquerade as a pass.
-bench:
+bench-throughput:
 	$(GO) test -run '^$$' -bench=SimulatorThroughput -count=5 . > bench_throughput.tmp || { cat bench_throughput.tmp; rm -f bench_throughput.tmp; exit 1; }
 	cat bench_throughput.tmp
 	awk -v date="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -43,6 +45,33 @@ bench:
 	  }' bench_throughput.tmp > BENCH_throughput.json
 	rm -f bench_throughput.tmp
 	cat BENCH_throughput.json
+
+# Sweep-level throughput: three samples of each SuiteSweep variant (full
+# path / no trace cache / one worker), recorded in BENCH_sweep.json. The
+# variants come from one interleaved invocation on one host, so the
+# full-vs-disabled ratios are a like-for-like measurement of the trace
+# cache and the scheduler.
+bench-sweep:
+	$(GO) test -run '^$$' -bench=SuiteSweep -benchtime=1x -count=3 . > bench_sweep.tmp || { cat bench_sweep.tmp; rm -f bench_sweep.tmp; exit 1; }
+	cat bench_sweep.tmp
+	awk -v date="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	    -v commit="$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" ' \
+	  /^BenchmarkSuiteSweep\// { \
+	    name = $$1; sub(/^BenchmarkSuiteSweep\//, "", name); sub(/-[0-9]+$$/, "", name); \
+	    if (!(name in v)) ord[no++] = name; \
+	    for (i = 2; i <= NF; i++) if ($$i == "instr/s") \
+	      v[name] = v[name] (v[name] ? ", " : "") $$(i-1); \
+	  } \
+	  END { \
+	    printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n", date, commit; \
+	    printf "  \"benchmark\": \"BenchmarkSuiteSweep\",\n"; \
+	    printf "  \"methodology\": \"one full Figure 8/9 regeneration (33 cells) per iteration; variants interleaved in one invocation on one host, 3 samples each; see EXPERIMENTS.md, Sweep throughput tracking\",\n"; \
+	    printf "  \"instr_per_s\": {"; \
+	    for (i = 0; i < no; i++) printf "%s\n    \"%s\": [%s]", (i ? "," : ""), ord[i], v[ord[i]]; \
+	    printf "\n  }\n}\n"; \
+	  }' bench_sweep.tmp > BENCH_sweep.json
+	rm -f bench_sweep.tmp
+	cat BENCH_sweep.json
 
 # Every benchmark (figures, tables, ablations) at minimal iteration count.
 bench-all:

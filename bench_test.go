@@ -426,3 +426,42 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(mc.Instructions)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 }
+
+// BenchmarkSuiteSweep measures end-to-end sweep throughput through the
+// production path — shared trace cache, cost-ordered GOMAXPROCS-sized
+// worker pool and per-worker state reuse. Each iteration builds a fresh
+// Experiments and regenerates one full figure pair (every benchmark:
+// baseline + drowsy + gated), so the numbers include trace recording,
+// scheduling, simulation and evaluation. The sub-benchmarks isolate the
+// optimizations: "full" is the default path, "no-trace-cache" regenerates
+// every instruction stream live, and "serial" runs the same sweep on one
+// worker.
+func BenchmarkSuiteSweep(b *testing.B) {
+	sweep := func(b *testing.B, configure func(*sim.Experiments)) {
+		b.ReportAllocs()
+		executed := 0
+		for i := 0; i < b.N; i++ {
+			e := sim.NewExperiments()
+			e.Warmup = benchWarmup
+			e.Instructions = benchInstr
+			if configure != nil {
+				configure(e)
+			}
+			e.Figure8_9()
+			executed = e.Executed()
+			if err := e.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perRun := float64(benchWarmup + benchInstr)
+		b.ReportMetric(float64(executed)*perRun*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+		b.ReportMetric(float64(executed), "cells")
+	}
+	b.Run("full", func(b *testing.B) { sweep(b, nil) })
+	b.Run("no-trace-cache", func(b *testing.B) {
+		sweep(b, func(e *sim.Experiments) { e.DisableTraceCache = true })
+	})
+	b.Run("serial", func(b *testing.B) {
+		sweep(b, func(e *sim.Experiments) { e.Workers = 1 })
+	})
+}

@@ -49,7 +49,10 @@ func run() int {
 		n          = flag.Uint64("n", 1_000_000, "measured instructions per run")
 		warmup     = flag.Uint64("warmup", 300_000, "warmup instructions per run")
 		vary       = flag.Bool("variation", false, "enable inter-die parameter variation (Section 3.3)")
-		serial     = flag.Bool("serial", false, "disable parallel simulation")
+		serial     = flag.Bool("serial", false, "disable parallel simulation (same as -workers 1)")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = all CPUs; overrides -serial)")
+		noTrace    = flag.Bool("no-trace-cache", false, "disable the shared instruction-trace cache (slower; results identical)")
+		traceSpill = flag.String("trace-spill", "", "spill recorded traces to files in this directory instead of memory")
 		asCSV      = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
 		timeout    = flag.Duration("timeout", 0, "per-run deadline (e.g. 30s; 0 = none)")
 		checkpoint = flag.String("checkpoint", "", "JSON-lines file recording completed runs")
@@ -82,6 +85,9 @@ func run() int {
 	e.Instructions = *n
 	e.Warmup = *warmup
 	e.Parallel = !*serial
+	e.Workers = *workers
+	e.DisableTraceCache = *noTrace
+	e.TraceSpillDir = *traceSpill
 	e.Ctx = ctx
 	e.RunTimeout = *timeout
 	e.MaxRetries = *maxRetries

@@ -99,6 +99,27 @@ func New(cfg Config) *Predictor {
 // support).
 func (p *Predictor) ResetStats() { p.Stats = Stats{} }
 
+// Reset returns the predictor to the state New leaves it in — weakly-taken
+// counters, empty BTB/RAS, clean history — reusing the table allocations
+// (run-to-run reuse).
+func (p *Predictor) Reset() {
+	p.Stats = Stats{}
+	for i := range p.bimod {
+		p.bimod[i] = 2
+	}
+	for i := range p.gag {
+		p.gag[i] = 2
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 2
+	}
+	p.history = 0
+	clear(p.btb)
+	p.btbStamp = 0
+	clear(p.ras)
+	p.rasTop = 0
+}
+
 // Prediction is the outcome of a lookup, passed back to Update.
 type Prediction struct {
 	Taken     bool

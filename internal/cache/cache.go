@@ -138,6 +138,9 @@ func (m *Memory) ResetStats() {
 	m.DynJ = 0
 }
 
+// Reset returns the memory to its just-built state (run-to-run reuse).
+func (m *Memory) Reset() { m.ResetStats() }
+
 // Cache is a plain (uncontrolled) set-associative write-back cache.
 type Cache struct {
 	Cfg    Config
@@ -178,6 +181,20 @@ func New(p *tech.Params, cfg Config, next Level) (*Cache, error) {
 		setMask:   uint64(sets - 1),
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 	}, nil
+}
+
+// Reset returns the cache to the state New leaves it in — cold contents,
+// zero stats and energy — while keeping the line array and energy model.
+// It lets a worker reuse one cache allocation across many runs (the L2's
+// line array is the dominant per-run allocation). next replaces the
+// downstream level, which may itself have been reset.
+func (c *Cache) Reset(next Level) {
+	c.Next = next
+	c.Stats = Stats{}
+	c.DynJ = 0
+	clear(c.lines)
+	c.useStamp = 0
+	c.obsPrev = Stats{}
 }
 
 // MustNew is New for static configuration known to be valid (tests,

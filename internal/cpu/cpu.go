@@ -368,6 +368,28 @@ const (
 
 // New builds a core over the given workload and hierarchy.
 func New(cfg Config, gen InstrSource, pred *bpred.Predictor, ic FetchCache, dc *leakctl.DCache) *Core {
+	return build(cfg, gen, pred, ic, dc, nil)
+}
+
+// Recycle rebuilds old into exactly the state New(cfg, ...) would return,
+// reusing its backing arrays (ring, ready lists, bitmaps, fetch buffer)
+// when the configuration matches. It lets a sweep worker amortize the
+// core's allocations across many runs; a nil or mismatched old simply
+// falls back to a fresh core.
+func Recycle(old *Core, cfg Config, gen InstrSource, pred *bpred.Predictor, ic FetchCache, dc *leakctl.DCache) *Core {
+	if old == nil || old.Cfg != cfg {
+		old = nil
+	}
+	return build(cfg, gen, pred, ic, dc, old)
+}
+
+// build is the shared constructor behind New and Recycle. With a non-nil
+// old (same Config, so identical array geometry) the backing arrays are
+// cleared and reused; clear() reproduces make()'s zero state, and the
+// struct literal assignment below resets every scalar field (including the
+// fixed-size wake wheel) the same way, so both paths leave the core
+// bit-identical.
+func build(cfg Config, gen InstrSource, pred *bpred.Predictor, ic FetchCache, dc *leakctl.DCache, old *Core) *Core {
 	ringLen := 1
 	for ringLen < cfg.RUUSize {
 		ringLen <<= 1
@@ -376,28 +398,52 @@ func New(cfg Config, gen InstrSource, pred *bpred.Predictor, ic FetchCache, dc *
 	for fbLen < 3*cfg.FetchWidth {
 		fbLen <<= 1
 	}
-	c := &Core{
+	c := old
+	if c == nil {
+		c = &Core{
+			ring:     make([]entry, ringLen),
+			rdy:      make([]uint64, ringLen),
+			nextRdy:  make([]uint64, ringLen),
+			unb:      make([]uint64, (ringLen+63)/64),
+			done:     make([]uint64, ringLen),
+			wakeBuf:  make([]uint64, ringLen),
+			fetchBuf: make([]fetched, fbLen),
+		}
+		if cfg.MSHRs > 0 {
+			c.mshrBusy = make([]uint64, cfg.MSHRs)
+		}
+	} else {
+		clear(c.ring)
+		clear(c.rdy)
+		clear(c.nextRdy)
+		clear(c.unb)
+		clear(c.done)
+		clear(c.wakeBuf)
+		clear(c.fetchBuf)
+		clear(c.mshrBusy)
+	}
+	ring, rdy, nextRdy, unb, done, wakeBuf, fetchBuf, mshr :=
+		c.ring, c.rdy, c.nextRdy, c.unb, c.done, c.wakeBuf, c.fetchBuf, c.mshrBusy
+	*c = Core{
 		Cfg:           cfg,
 		Gen:           gen,
 		Pred:          pred,
 		ICache:        ic,
 		DCache:        dc,
-		ring:          make([]entry, ringLen),
+		ring:          ring,
 		ringMask:      uint64(ringLen - 1),
-		rdy:           make([]uint64, ringLen),
-		nextRdy:       make([]uint64, ringLen),
-		unb:           make([]uint64, (ringLen+63)/64),
-		done:          make([]uint64, ringLen),
-		wakeBuf:       make([]uint64, ringLen),
-		fetchBuf:      make([]fetched, fbLen),
+		rdy:           rdy,
+		nextRdy:       nextRdy,
+		unb:           unb,
+		done:          done,
+		wakeBuf:       wakeBuf,
+		fetchBuf:      fetchBuf,
 		fetchMask:     fbLen - 1,
+		mshrBusy:      mshr,
 		nextSeq:       1,
 		head:          1,
 		tail:          1,
 		lastFetchLine: ^uint64(0),
-	}
-	if cfg.MSHRs > 0 {
-		c.mshrBusy = make([]uint64, cfg.MSHRs)
 	}
 	switch ic.(type) {
 	case *cache.Cache:

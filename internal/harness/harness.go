@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -35,6 +36,13 @@ type Job[T any] struct {
 	Key       string
 	Benchmark string
 	Technique string
+	// Cost is the job's estimated execution cost in arbitrary but mutually
+	// comparable units (e.g. instruction count scaled by an observed
+	// ns-per-instruction). Run dispatches costlier jobs first so a long
+	// cell cannot land on the tail of the schedule and stretch the whole
+	// batch; equal costs (including the all-zero default) dispatch in job
+	// order.
+	Cost float64
 	// Run executes the job. It is called with a context that carries the
 	// per-run deadline and the attempt number (see Attempt); it must stop
 	// promptly when the context is cancelled.
@@ -52,6 +60,11 @@ type Result[T any] struct {
 	// Attempts is the number of executions performed (0 for a
 	// checkpoint hit).
 	Attempts int
+	// Duration is the wall-clock time the job spent executing (all
+	// attempts, including backoff sleeps); zero for checkpoint hits and
+	// jobs cancelled before starting. Callers feed it back into future
+	// Cost estimates.
+	Duration time.Duration
 }
 
 // RunError is the structured failure record for one job: what failed, how
@@ -130,6 +143,17 @@ func Attempt(ctx context.Context) int {
 	return n
 }
 
+// workerCtxKey carries the per-worker state in the run context.
+type workerCtxKey struct{}
+
+// WorkerValue returns the value Config.WorkerState produced for the worker
+// executing this run, or nil outside a supervised run (or when no
+// WorkerState was configured). Jobs use it for reusable scratch state —
+// simulator components reset between runs instead of reallocated.
+func WorkerValue(ctx context.Context) any {
+	return ctx.Value(workerCtxKey{})
+}
+
 // Config configures a Supervisor.
 type Config[T any] struct {
 	// Workers bounds concurrent job execution (default 1).
@@ -156,12 +180,21 @@ type Config[T any] struct {
 	// the job Key, which is also the checkpoint identity. Outcome counters
 	// in the obs registry are updated regardless.
 	Events EventSink
+	// WorkerState, when non-nil, is invoked once per worker goroutine when
+	// the pool starts; the returned value rides in every run context on
+	// that worker (see WorkerValue). The value is confined to its worker,
+	// so jobs may mutate it without locking.
+	WorkerState func() any
 }
 
 // Supervisor executes batches of jobs under the configured discipline.
 type Supervisor[T any] struct {
 	cfg Config[T]
 }
+
+// Workers returns the resolved pool size (always >= 1), so callers can
+// report how wide a sweep will run.
+func (s *Supervisor[T]) Workers() int { return s.cfg.Workers }
 
 // New builds a supervisor. The zero Config runs jobs serially with no
 // deadline, no retries and no checkpoint — but still recovers panics.
@@ -183,13 +216,19 @@ func New[T any](cfg Config[T]) *Supervisor[T] {
 // cancelled, in-flight jobs are drained (their contexts are cancelled and
 // they report Canceled errors) and queued jobs are failed without
 // starting. Completed results are always retained.
+//
+// Execution uses a fixed pool of Config.Workers goroutines pulling from a
+// queue ordered by descending Job.Cost (stable, so equal costs keep job
+// order). Longest-first dispatch keeps an expensive cell from starting
+// last and stretching the batch's tail; the pool (rather than the old
+// goroutine-per-job semaphore) gives each worker a stable identity for
+// WorkerState reuse and busy-time accounting.
 func (s *Supervisor[T]) Run(ctx context.Context, jobs []Job[T]) []Result[T] {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	results := make([]Result[T], len(jobs))
-	sem := make(chan struct{}, s.cfg.Workers)
-	var wg sync.WaitGroup
+	runnable := make([]int, 0, len(jobs))
 	for i, job := range jobs {
 		// Checkpoint hits resolve inline: no worker, no re-execution.
 		if v, ok := s.lookup(job.Key); ok {
@@ -198,21 +237,51 @@ func (s *Supervisor[T]) Run(ctx context.Context, jobs []Job[T]) []Result[T] {
 			s.emit(obs.Record{Type: "checkpoint_hit", RunID: job.Key})
 			continue
 		}
-		wg.Add(1)
-		go func(i int, job Job[T]) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-ctx.Done():
-				// Queued behind the semaphore when the suite was
-				// cancelled: fail without starting.
-				results[i] = Result[T]{Key: job.Key, Err: s.runError(job, ctx.Err(), 0)}
-				return
-			}
-			results[i] = s.runJob(ctx, job)
-		}(i, job)
+		runnable = append(runnable, i)
 	}
+	if len(runnable) == 0 {
+		return results
+	}
+	sort.SliceStable(runnable, func(a, b int) bool {
+		return jobs[runnable[a]].Cost > jobs[runnable[b]].Cost
+	})
+	workers := s.cfg.Workers
+	if workers > len(runnable) {
+		workers = len(runnable)
+	}
+	obsWorkersGauge.Set(int64(workers))
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			wctx := ctx
+			if s.cfg.WorkerState != nil {
+				wctx = context.WithValue(ctx, workerCtxKey{}, s.cfg.WorkerState())
+			}
+			var busy time.Duration
+			for i := range queue {
+				job := jobs[i]
+				if ctx.Err() != nil {
+					// Still queued when the suite was cancelled: fail
+					// without starting.
+					results[i] = Result[T]{Key: job.Key, Err: s.runError(job, ctx.Err(), 0)}
+					continue
+				}
+				start := time.Now()
+				results[i] = s.runJob(wctx, job)
+				results[i].Duration = time.Since(start)
+				busy += results[i].Duration
+			}
+			obsWorkerBusy.Add(uint64(busy.Milliseconds()))
+			workerBusyGauge(w).Add(busy.Milliseconds())
+		}(w)
+	}
+	for _, i := range runnable {
+		queue <- i
+	}
+	close(queue)
 	wg.Wait()
 	return results
 }

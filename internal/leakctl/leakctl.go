@@ -292,6 +292,49 @@ func New(p *tech.Params, cfg cache.Config, params Params, next cache.Level) (*DC
 	return d, nil
 }
 
+// Reset returns the cache to the state New(p, d.Cfg, params, next) leaves
+// it in, reusing the line array (run-to-run reuse). The geometry (Cfg) is
+// fixed at construction; technique parameters and the technology point may
+// change between runs, so the energy models and the decay machine are
+// rebuilt. The Adapter, set externally after New, is cleared the same way.
+func (d *DCache) Reset(p *tech.Params, params Params, next cache.Level) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	nlines := len(d.lines)
+	machine := decay.New(nlines, params.Interval, params.Policy)
+	if params.PerLineAdaptive && params.Interval != 0 {
+		machine = decay.NewPerLine(nlines, params.Interval)
+	}
+	d.P = params
+	d.Next = next
+	d.Stats = Stats{}
+	d.Energy = Energy{}
+	d.Adapter = nil
+	d.AdaptChanges = 0
+	d.nextAdapt = 0
+	d.AccessE = power.NewCacheEnergy(p, d.Cfg.Geometry())
+	d.TechE = power.NewTechniqueEnergy(p, d.Cfg.LineBytes, params.Technique == TechGated)
+	d.Machine = machine
+	clear(d.lines)
+	d.useStamp = 0
+	d.curCycle = 0
+	d.standbyCount = 0
+	d.lastOccCycle = 0
+	d.standbyIntegral = 0
+	d.settleDebt = 0
+	d.finished = false
+	d.finalCycles = 0
+	d.statsStart = 0
+	d.machineBase = decay.Machine{}
+	d.obsPrev = Stats{}
+	d.obsPrevAdapt = 0
+	return nil
+}
+
 // MustNew is New for static configuration known to be valid (tests,
 // examples); it panics on error.
 func MustNew(p *tech.Params, cfg cache.Config, params Params, next cache.Level) *DCache {

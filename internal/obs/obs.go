@@ -283,6 +283,21 @@ const (
 	MetricRunsCompleted  = "harness_runs_completed_total"
 	MetricRunsFailed     = "harness_runs_failed_total"
 	MetricCheckpointHits = "harness_checkpoint_hits_total"
+	// MetricWorkerBusyMS is the harness pool's cumulative busy time in
+	// milliseconds summed over workers; GaugeWorkers is the pool size of
+	// the most recent batch. Per-worker busy time is the gauge series
+	// harness_worker_NN_busy_ms.
+	MetricWorkerBusyMS = "harness_worker_busy_ms_total"
+	GaugeWorkers       = "harness_workers"
+	// MetricTraceCacheHits / Misses / Bytes / Wraps instrument the sweep's
+	// shared instruction-trace cache (internal/sim): replays served from a
+	// recorded buffer, buffers recorded, resident encoded bytes, and
+	// replays discarded because the simulation consumed past the recorded
+	// length (forcing a live-generation fallback).
+	MetricTraceCacheHits   = "trace_cache_hits_total"
+	MetricTraceCacheMisses = "trace_cache_misses_total"
+	MetricTraceCacheBytes  = "trace_cache_bytes_total"
+	MetricTraceCacheWraps  = "trace_cache_wraps_total"
 )
 
 // Delta returns cur-prev saturating at cur when a counter source was reset

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -86,6 +87,19 @@ type Experiments struct {
 	Variation leakage.VariationConfig
 	// Parallel enables concurrent simulation across runs.
 	Parallel bool
+	// Workers sizes the supervisor's worker pool. 0 defaults to
+	// runtime.GOMAXPROCS(0) when Parallel and 1 otherwise; an explicit
+	// value wins either way, so Workers=1 is equivalent to serial.
+	Workers int
+	// DisableTraceCache turns off the shared instruction-trace cache and
+	// runs every cell from a live generator (the pre-cache behaviour; the
+	// results are bit-identical either way, so this is a
+	// debugging/benchmarking knob, not a correctness one).
+	DisableTraceCache bool
+	// TraceSpillDir, when non-empty, keeps recorded traces in files under
+	// this directory instead of memory — for memory-constrained hosts
+	// running very long traces (each replay then re-reads its file).
+	TraceSpillDir string
 
 	// Ctx, when non-nil, cancels the whole suite (SIGINT handling in the
 	// commands). In-flight runs drain as Canceled failures; completed
@@ -121,6 +135,14 @@ type Experiments struct {
 	supErr   error
 	executed int // runs actually simulated this process
 	resumed  int // runs restored from the checkpoint
+
+	// traces is the shared instruction-trace cache, attached to every
+	// suite (nil when DisableTraceCache).
+	traces *TraceCache
+	// costs is the dispatch cost model: observed ns/instr EWMA keyed by
+	// bench+"/"+technique, fed back from completed run durations so later
+	// batches dispatch their slowest cells first.
+	costs map[string]float64
 }
 
 // NewExperiments returns the paper's experiment set at reduced scale
@@ -135,6 +157,7 @@ func NewExperiments() *Experiments {
 		suites:       make(map[int]*Suite),
 		runs:         make(map[string]RunResult),
 		failures:     make(map[string]*harness.RunError),
+		costs:        make(map[string]float64),
 	}
 }
 
@@ -158,6 +181,12 @@ func (e *Experiments) suiteLocked(l2 int) *Suite {
 		mc.Instructions = e.Instructions
 		mc.Warmup = e.Warmup
 		s = NewSuite(mc)
+		if !e.DisableTraceCache {
+			if e.traces == nil {
+				e.traces = NewTraceCache(e.TraceSpillDir)
+			}
+			s.Traces = e.traces
+		}
 		e.suites[l2] = s
 	}
 	return s
@@ -199,9 +228,12 @@ func (e *Experiments) supervisor() (*harness.Supervisor[RunResult], error) {
 		}
 		e.ckpt = ckpt
 	}
-	workers := 1
-	if e.Parallel {
-		workers = 8
+	workers := e.Workers
+	if workers <= 0 {
+		workers = 1
+		if e.Parallel {
+			workers = runtime.GOMAXPROCS(0)
+		}
 	}
 	e.sup = harness.New(harness.Config[RunResult]{
 		Workers:    workers,
@@ -211,6 +243,9 @@ func (e *Experiments) supervisor() (*harness.Supervisor[RunResult], error) {
 		Checkpoint: ckpt,
 		Check:      checkRun,
 		Events:     e.Events,
+		// Each worker goroutine carries one reusable simulation state;
+		// the job closures retrieve it through harness.WorkerValue.
+		WorkerState: func() any { return new(RunState) },
 	})
 	return e.sup, nil
 }
@@ -243,6 +278,47 @@ type runSpec struct {
 
 func (sp runSpec) key() string { return runKey(sp.prof.Name, sp.l2, sp.tech, sp.interval) }
 
+// costKey groups specs the cost model treats as equivalent: the same
+// benchmark under the same technique costs about the same regardless of L2
+// latency or decay interval.
+func (sp runSpec) costKey() string { return sp.prof.Name + "/" + sp.tech.String() }
+
+// costOf estimates a spec's wall-clock cost (arbitrary units, only the
+// ordering matters) from the observed ns/instr of its cost group. Unseen
+// groups use the mean of the seen ones — or a flat 1 when nothing has run
+// yet, which leaves the initial batch in job order.
+func (e *Experiments) costOf(sp runSpec) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	w, ok := e.costs[sp.costKey()]
+	if !ok {
+		w = 1
+		if len(e.costs) > 0 {
+			sum := 0.0
+			for _, v := range e.costs {
+				sum += v
+			}
+			w = sum / float64(len(e.costs))
+		}
+	}
+	return w * float64(e.Instructions+e.Warmup)
+}
+
+// noteCostLocked folds one completed run's duration into the cost model
+// (EWMA, so drifting hosts converge). Caller holds e.mu.
+func (e *Experiments) noteCostLocked(sp runSpec, d time.Duration) {
+	n := e.Instructions + e.Warmup
+	if d <= 0 || n == 0 {
+		return
+	}
+	obs := float64(d.Nanoseconds()) / float64(n)
+	k := sp.costKey()
+	if prev, ok := e.costs[k]; ok {
+		obs = 0.6*prev + 0.4*obs
+	}
+	e.costs[k] = obs
+}
+
 // jobFor wraps a spec as a supervised job. The run honours the per-attempt
 // context (deadline + suite cancellation); validation failures are marked
 // Permanent so they are not retried. FaultNaN injection happens here — the
@@ -257,13 +333,17 @@ func (e *Experiments) jobFor(sp runSpec) harness.Job[RunResult] {
 		Technique: sp.tech.String(),
 		Run: func(ctx context.Context) (RunResult, error) {
 			params := leakctl.DefaultParams(sp.tech, sp.interval)
-			// Fresh adapter state per attempt: a retried run must not
-			// inherit the failed attempt's learned intervals.
-			var adapter leakctl.Adapter
+			// Fresh adapter state per attempt (and per trace-fallback
+			// re-execution): a retried run must not inherit a failed or
+			// discarded attempt's learned intervals.
+			var adapterFor func() leakctl.Adapter
 			if e.AdapterFor != nil {
-				adapter = e.AdapterFor(sp.prof.Name, sp.tech, sp.interval)
+				adapterFor = func() leakctl.Adapter {
+					return e.AdapterFor(sp.prof.Name, sp.tech, sp.interval)
+				}
 			}
-			r, err := RunOne(ctx, s.MC, sp.prof, params, adapter)
+			st, _ := harness.WorkerValue(ctx).(*RunState)
+			r, err := runWithTrace(ctx, s.Traces, s.MC, sp.prof, params, adapterFor, st)
 			if err != nil {
 				if errors.Is(err, ErrInvalidConfig) {
 					return RunResult{}, harness.Permanent(err)
@@ -317,6 +397,7 @@ func (e *Experiments) runSpecs(specs []runSpec) error {
 	jobs := make([]harness.Job[RunResult], len(pending))
 	for i, sp := range pending {
 		jobs[i] = e.jobFor(sp)
+		jobs[i].Cost = e.costOf(sp)
 	}
 	results := sup.Run(e.ctx(), jobs)
 
@@ -338,6 +419,7 @@ func (e *Experiments) runSpecs(specs []runSpec) error {
 			e.resumed++
 		} else {
 			e.executed++
+			e.noteCostLocked(sp, res.Duration)
 		}
 		if sp.tech == leakctl.TechNone {
 			seeds = append(seeds, seed{sp.l2, sp.prof.Name, res.Value})
@@ -464,16 +546,25 @@ func (e *Experiments) Err() error {
 	return nil
 }
 
-// Close releases the checkpoint file, if one was opened.
+// Close releases the checkpoint file (if one was opened) and the trace
+// cache's recorded buffers. The suites stay usable: traces re-record on
+// demand.
 func (e *Experiments) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	var terr error
+	if e.traces != nil {
+		terr = e.traces.Close()
+	}
 	if e.ckpt == nil {
-		return nil
+		return terr
 	}
 	err := e.ckpt.Close()
 	e.ckpt = nil
-	return err
+	if err != nil {
+		return err
+	}
+	return terr
 }
 
 // model builds a fresh leakage model (with the configured variation).

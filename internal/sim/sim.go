@@ -171,6 +171,13 @@ func runCommitted(ctx context.Context, core *cpu.Core, n uint64, flush func()) (
 // RunOneFrom is RunOne over an arbitrary instruction source — a live
 // generator or a recorded trace (package trace) replayed from disk.
 func RunOneFrom(ctx context.Context, mc MachineConfig, name string, src cpu.InstrSource, params leakctl.Params, adapter leakctl.Adapter) (RunResult, error) {
+	return runOneFromState(ctx, mc, name, src, params, adapter, nil)
+}
+
+// runOneFromState is RunOneFrom with optional component reuse: a non-nil
+// st contributes its previously built (and reset) machine when the
+// configuration matches, and caches this run's machine for the next one.
+func runOneFromState(ctx context.Context, mc MachineConfig, name string, src cpu.InstrSource, params leakctl.Params, adapter leakctl.Adapter, st *RunState) (RunResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -180,39 +187,13 @@ func RunOneFrom(ctx context.Context, mc MachineConfig, name string, src cpu.Inst
 	if err := params.Validate(); err != nil {
 		return RunResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
-	mem := cache.NewMemory(mc.Tech, mc.MemLatency)
-	l2, err := cache.New(mc.Tech, mc.L2, mem)
+	m, err := assemble(mc, src, params, adapter, st)
 	if err != nil {
-		return RunResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		return RunResult{}, err
 	}
-	dl1, err := leakctl.New(mc.Tech, mc.L1D, params, l2)
-	if err != nil {
-		return RunResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
-	}
-	if adapter != nil {
-		dl1.Adapter = adapter
-	}
-
-	// The I-cache is plain unless the extension study controls it too.
-	var l1i cpu.FetchCache
-	var il1Plain *cache.Cache
-	var il1Ctl *leakctl.DCache
-	if mc.IL1Control != nil {
-		il1Ctl, err = leakctl.New(mc.Tech, mc.L1I, *mc.IL1Control, l2)
-		if err != nil {
-			return RunResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
-		}
-		l1i = il1Ctl
-	} else {
-		il1Plain, err = cache.New(mc.Tech, mc.L1I, l2)
-		if err != nil {
-			return RunResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
-		}
-		l1i = il1Plain
-	}
-
-	pred := bpred.New(mc.Bpred)
-	core := cpu.New(mc.CPU, src, pred, l1i, dl1)
+	mem, l2, dl1 := m.mem, m.l2, m.dl1
+	il1Plain, il1Ctl := m.il1Plain, m.il1Ctl
+	pred, core := m.pred, m.core
 
 	// Observability: this run-goroutine's private counter shard, flushed
 	// as batched deltas at chunk boundaries and merged on snapshot.
@@ -318,7 +299,12 @@ type Point struct {
 // the cache elect one simulating leader per profile and the rest wait for
 // its result instead of redundantly simulating the same baseline.
 type Suite struct {
-	MC        MachineConfig
+	MC MachineConfig
+	// Traces, when non-nil, serves each baseline run from the shared
+	// recorded instruction stream instead of a fresh generator pass
+	// (bit-identical; see TraceCache). Set it before the first Baseline
+	// call.
+	Traces    *TraceCache
 	mu        sync.Mutex
 	baselines map[string]*baselineCell
 }
@@ -349,7 +335,7 @@ func (s *Suite) Baseline(ctx context.Context, prof workload.Profile) (RunResult,
 			c = &baselineCell{done: make(chan struct{})}
 			s.baselines[prof.Name] = c
 			s.mu.Unlock()
-			c.r, c.err = RunOne(ctx, s.MC, prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil)
+			c.r, c.err = runWithTrace(ctx, s.Traces, s.MC, prof, leakctl.DefaultParams(leakctl.TechNone, 0), nil, nil)
 			if c.err != nil {
 				s.mu.Lock()
 				delete(s.baselines, prof.Name)
