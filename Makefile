@@ -6,7 +6,7 @@ GO ?= go
 #   make bench BASELINE_INSTR_S=...
 BASELINE_INSTR_S ?= 1990000
 
-.PHONY: build test verify bench bench-throughput bench-sweep bench-all clean
+.PHONY: build test verify smoke-daemon bench bench-throughput bench-sweep bench-all clean
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ test: build
 verify: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# End-to-end daemon smoke: start leakd on a temp store, run a sweep over
+# HTTP, require the warm resubmit to be 100% store hits, SIGTERM-drain.
+smoke-daemon:
+	./scripts/daemon_smoke.sh
 
 bench: bench-throughput bench-sweep
 

@@ -33,6 +33,7 @@ import (
 	"hotleakage/internal/harness/profiling"
 	"hotleakage/internal/leakage"
 	"hotleakage/internal/obs"
+	"hotleakage/internal/server/api"
 	"hotleakage/internal/sim"
 	"hotleakage/internal/tech"
 )
@@ -59,6 +60,7 @@ func run() int {
 		resume     = flag.Bool("resume", false, "resume from -checkpoint (its header must match -n/-warmup)")
 		maxRetries = flag.Int("max-retries", 2, "re-executions of a transiently failed run")
 		faultSpec  = flag.String("faultinject", "", "inject faults for testing, e.g. panic:1/8[:seed=N][:sticky]")
+		remote     = flag.String("remote", "", "delegate simulation to a leakd daemon at this address (host:port or URL); evaluation and rendering stay local")
 		telemetry  = flag.String("telemetry", "", "append JSONL telemetry (periodic snapshots + run trace events) to this file")
 		telemIv    = flag.Duration("telemetry-interval", 2*time.Second, "snapshot period for -telemetry / -progress")
 		metrics    = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/vars on this address, e.g. :9090")
@@ -103,6 +105,13 @@ func run() int {
 			return 2
 		}
 		e.Injector = inj
+	}
+	if *remote != "" {
+		// Thin-client mode: cells are simulated by the daemon (which has
+		// its own store, checkpoints and retry policy); the local flags
+		// governing execution no longer apply.
+		e.Remote = api.NewClient(*remote)
+		fmt.Fprintf(os.Stderr, "remote: delegating simulation to %s\n", *remote)
 	}
 
 	// Observability: JSONL telemetry file (snapshots + harness trace

@@ -1,0 +1,116 @@
+// Command leakd serves the leakage-control simulation as a service: an
+// HTTP/JSON API over the harness with a content-addressed result store, so
+// repeated and overlapping sweeps are answered from disk and only new cells
+// are simulated. SIGTERM/SIGINT drain gracefully — queued sweeps are
+// canceled, in-flight cells finish or checkpoint, and a restarted daemon
+// resumes from the store plus per-sweep checkpoints.
+//
+// Usage:
+//
+//	leakd -store /var/lib/leakd [-addr :8080] [-workers N] [-telemetry FILE]
+//
+// See EXPERIMENTS.md for the API reference and a curl walkthrough.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hotleakage/internal/obs"
+	"hotleakage/internal/server"
+	"hotleakage/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leakd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		storeDir     = flag.String("store", "", "result store directory (required)")
+		workers      = flag.Int("workers", 0, "harness workers per sweep (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 16, "queued sweeps per priority class before 429")
+		sweeps       = flag.Int("sweeps", 1, "sweeps executing concurrently")
+		maxCells     = flag.Int("max-cells", 4096, "cells per sweep before 400")
+		instructions = flag.Uint64("n", 1_000_000, "default measured instructions per cell")
+		warmup       = flag.Uint64("warmup", 300_000, "default warmup instructions per cell")
+		runTimeout   = flag.Duration("run-timeout", 0, "per-cell deadline (0 = none)")
+		maxRetries   = flag.Int("max-retries", 2, "per-cell retry budget")
+		drainWait    = flag.Duration("drain", 30*time.Second, "max graceful drain on SIGTERM")
+		telemetry    = flag.String("telemetry", "", "append JSONL trace events to this file")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if n := st.Skipped(); n > 0 {
+		logger.Printf("store: skipped %d corrupt record(s) while indexing %s", n, *storeDir)
+	}
+
+	cfg := server.Config{
+		Store:               st,
+		Workers:             *workers,
+		QueueDepth:          *queueDepth,
+		SweepConcurrency:    *sweeps,
+		MaxCells:            *maxCells,
+		DefaultInstructions: *instructions,
+		DefaultWarmup:       *warmup,
+		RunTimeout:          *runTimeout,
+		MaxRetries:          *maxRetries,
+		Log:                 logger,
+	}
+	if *telemetry != "" {
+		f, err := os.OpenFile(*telemetry, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Events = obs.NewTraceWriter(f)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := obs.HardenedServer(srv.Handler())
+	go func() { _ = hs.Serve(ln) }()
+	logger.Printf("leakd: listening on http://%s, store %s (%d cells)",
+		ln.Addr(), *storeDir, st.Len())
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	<-ctx.Done()
+	stopSignals()
+
+	logger.Printf("leakd: draining (max %s)", *drainWait)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		logger.Printf("leakd: %v", err)
+	}
+	obs.Shutdown(hs)
+	logger.Printf("leakd: drained, store has %d cells", st.Len())
+	return nil
+}

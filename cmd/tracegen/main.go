@@ -4,12 +4,17 @@
 // when -machine is set — the stream's behaviour on the Table 2 machine
 // (IPC, cache miss rates, branch misprediction). Use it to check a profile
 // against its calibration targets or to characterize a custom profile.
+//
+// With -json, the same summaries are emitted as JSON lines (one object per
+// benchmark) for scripted consumption; see StreamSummary for the schema.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hotleakage/internal/sim"
@@ -24,6 +29,7 @@ func main() {
 		machine = flag.Bool("machine", false, "also run the Table 2 machine over the stream")
 		record  = flag.String("record", "", "record the stream to a binary trace file (requires -bench)")
 		replay  = flag.String("replay", "", "replay and summarize a recorded trace file")
+		asJSON  = flag.Bool("json", false, "emit one JSON object per benchmark instead of text")
 	)
 	flag.Parse()
 
@@ -50,15 +56,62 @@ func main() {
 		profs = []workload.Profile{p}
 	}
 
+	enc := json.NewEncoder(os.Stdout)
 	for _, p := range profs {
-		inspect(p, *n)
+		s := summarize(p, *n)
 		if *machine {
-			simulate(p, *n)
+			m, err := machineSummary(p, *n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			s.Machine = &m
 		}
+		if *asJSON {
+			if err := enc.Encode(s); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		s.printText(os.Stdout)
 	}
 }
 
-func inspect(p workload.Profile, n uint64) {
+// StreamSummary is one benchmark's generated-stream characterization, and
+// the schema of a -json output line.
+type StreamSummary struct {
+	Bench        string `json:"bench"`
+	Instructions uint64 `json:"instructions"`
+	// Fractions of the instruction stream.
+	MemFrac   float64 `json:"mem_frac"`
+	StoreFrac float64 `json:"store_frac"`
+	CTIFrac   float64 `json:"cti_frac"`
+	// TakenFrac is the taken fraction of control transfers.
+	TakenFrac float64 `json:"taken_frac"`
+	// MeanDep is the mean producer distance of register sources.
+	MeanDep float64 `json:"mean_dep"`
+	// Lines is the number of distinct 64B lines touched.
+	Lines int `json:"lines"`
+	// ReuseGap is the reuse-gap histogram over memory accesses, as
+	// fractions in the buckets <256, <1k, <4k, <16k, <64k, >=64k.
+	ReuseGap [6]float64 `json:"reuse_gap"`
+
+	Machine *MachineSummary `json:"machine,omitempty"`
+}
+
+// MachineSummary is the stream's behaviour on the Table 2 machine.
+type MachineSummary struct {
+	IPC         float64 `json:"ipc"`
+	DL1MissRate float64 `json:"dl1_miss_rate"`
+	IL1MissRate float64 `json:"il1_miss_rate"`
+	L2MissRate  float64 `json:"l2_miss_rate"`
+	BpredMiss   float64 `json:"bpred_miss_rate"`
+}
+
+// summarize runs the generator for n instructions and characterizes the
+// stream.
+func summarize(p workload.Profile, n uint64) StreamSummary {
 	g := workload.NewGenerator(p)
 	var ins workload.Instr
 	var mem, store, cti, taken uint64
@@ -106,27 +159,49 @@ func inspect(p workload.Profile, n uint64) {
 			depCnt++
 		}
 	}
-	fmt.Printf("%-8s mem=%.3f store=%.3f cti=%.3f taken=%.2f meandep=%.1f lines=%d\n",
-		p.Name, f(mem, n), f(store, n), f(cti, n), f(taken, cti),
-		float64(depSum)/float64(max(depCnt, 1)), len(lastTouch))
-	fmt.Printf("         reuse-gap histogram (accesses): <256:%.3f <1k:%.3f <4k:%.3f <16k:%.3f <64k:%.3f >=64k:%.3f\n",
-		f(gapHist[0], accesses), f(gapHist[1], accesses), f(gapHist[2], accesses),
-		f(gapHist[3], accesses), f(gapHist[4], accesses), f(gapHist[5], accesses))
+	s := StreamSummary{
+		Bench:        p.Name,
+		Instructions: n,
+		MemFrac:      f(mem, n),
+		StoreFrac:    f(store, n),
+		CTIFrac:      f(cti, n),
+		TakenFrac:    f(taken, cti),
+		MeanDep:      float64(depSum) / float64(max(depCnt, 1)),
+		Lines:        len(lastTouch),
+	}
+	for i, g := range gapHist {
+		s.ReuseGap[i] = f(g, accesses)
+	}
+	return s
 }
 
-func simulate(p workload.Profile, n uint64) {
+// machineSummary runs the Table 2 machine over the stream.
+func machineSummary(p workload.Profile, n uint64) (MachineSummary, error) {
 	mc := sim.DefaultMachine(11)
 	mc.Warmup = n / 3
 	mc.Instructions = n
 	r, err := sim.NewSuite(mc).Baseline(context.Background(), p)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return MachineSummary{}, err
 	}
-	dl1miss := float64(r.DStats.Misses) / float64(max(r.DStats.Accesses, 1))
-	fmt.Printf("         IPC=%.2f dl1miss=%.2f%% il1miss=%.2f%% l2miss=%.2f%% bpred=%.2f%%\n",
-		r.CPU.IPC(), 100*dl1miss, 100*r.ICStats.MissRate(),
-		100*r.L2Stats.MissRate(), 100*r.Bpred.MispredictRate())
+	return MachineSummary{
+		IPC:         r.CPU.IPC(),
+		DL1MissRate: f(r.DStats.Misses, max(r.DStats.Accesses, 1)),
+		IL1MissRate: r.ICStats.MissRate(),
+		L2MissRate:  r.L2Stats.MissRate(),
+		BpredMiss:   r.Bpred.MispredictRate(),
+	}, nil
+}
+
+func (s StreamSummary) printText(w io.Writer) {
+	fmt.Fprintf(w, "%-8s mem=%.3f store=%.3f cti=%.3f taken=%.2f meandep=%.1f lines=%d\n",
+		s.Bench, s.MemFrac, s.StoreFrac, s.CTIFrac, s.TakenFrac, s.MeanDep, s.Lines)
+	fmt.Fprintf(w, "         reuse-gap histogram (accesses): <256:%.3f <1k:%.3f <4k:%.3f <16k:%.3f <64k:%.3f >=64k:%.3f\n",
+		s.ReuseGap[0], s.ReuseGap[1], s.ReuseGap[2], s.ReuseGap[3], s.ReuseGap[4], s.ReuseGap[5])
+	if m := s.Machine; m != nil {
+		fmt.Fprintf(w, "         IPC=%.2f dl1miss=%.2f%% il1miss=%.2f%% l2miss=%.2f%% bpred=%.2f%%\n",
+			m.IPC, 100*m.DL1MissRate, 100*m.IL1MissRate, 100*m.L2MissRate, 100*m.BpredMiss)
+	}
 }
 
 // recordTrace captures n instructions of a benchmark into path.

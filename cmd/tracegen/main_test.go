@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hotleakage/internal/workload"
+)
+
+// TestJSONSummaryRoundTrip: the -json output must be machine-parseable
+// JSONL whose fields agree with the text path's inputs.
+func TestJSONSummaryRoundTrip(t *testing.T) {
+	p, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("gzip profile missing")
+	}
+	s := summarize(p, 50_000)
+	m, err := machineSummary(p, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Machine = &m
+
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	var back StreamSummary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if back.Bench != "gzip" || back.Instructions != 50_000 {
+		t.Fatalf("round trip lost identity: %+v", back)
+	}
+	if back.MemFrac <= 0 || back.MemFrac >= 1 {
+		t.Errorf("mem_frac = %v, want (0,1)", back.MemFrac)
+	}
+	if back.CTIFrac <= 0 || back.CTIFrac >= 1 {
+		t.Errorf("cti_frac = %v, want (0,1)", back.CTIFrac)
+	}
+	var gapSum float64
+	for _, g := range back.ReuseGap {
+		gapSum += g
+	}
+	if gapSum < 0.5 || gapSum > 1.0001 {
+		t.Errorf("reuse_gap fractions sum to %v", gapSum)
+	}
+	if back.Machine == nil || back.Machine.IPC <= 0 {
+		t.Fatalf("machine block missing or empty: %+v", back.Machine)
+	}
+	if back.Machine.DL1MissRate < 0 || back.Machine.DL1MissRate > 1 {
+		t.Errorf("dl1_miss_rate = %v", back.Machine.DL1MissRate)
+	}
+
+	// Determinism: the generators are seeded, so the JSON bytes are stable.
+	s2 := summarize(p, 50_000)
+	s2.Machine = s.Machine
+	var buf2 bytes.Buffer
+	if err := json.NewEncoder(&buf2).Encode(s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("summaries of the same profile are not byte-stable")
+	}
+}

@@ -21,6 +21,7 @@ package leakctl
 
 import (
 	"fmt"
+	"strings"
 
 	"hotleakage/internal/cache"
 	"hotleakage/internal/decay"
@@ -54,6 +55,22 @@ func (t Technique) String() string {
 		return "rbb"
 	}
 	return fmt.Sprintf("technique(%d)", int(t))
+}
+
+// ParseTechnique maps a technique's String form (plus forgiving aliases
+// for the daemon's JSON API) back to the Technique value.
+func ParseTechnique(s string) (Technique, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none", "baseline", "":
+		return TechNone, nil
+	case "drowsy":
+		return TechDrowsy, nil
+	case "gated-vss", "gated", "gatedvss", "gated_vss":
+		return TechGated, nil
+	case "rbb":
+		return TechRBB, nil
+	}
+	return TechNone, fmt.Errorf("leakctl: unknown technique %q (have none, drowsy, gated-vss, rbb)", s)
 }
 
 // StatePreserving reports whether standby lines keep their contents.

@@ -298,6 +298,19 @@ const (
 	MetricTraceCacheMisses = "trace_cache_misses_total"
 	MetricTraceCacheBytes  = "trace_cache_bytes_total"
 	MetricTraceCacheWraps  = "trace_cache_wraps_total"
+	// MetricStoreHits / Misses count cells resolved by (or missing from)
+	// the content-addressed result store (internal/sim + internal/store).
+	MetricStoreHits   = "store_hits_total"
+	MetricStoreMisses = "store_misses_total"
+	// Daemon metrics (internal/server): instantaneous queue depth across
+	// both priority classes, sweeps currently executing, and sweep
+	// admission outcomes. Rejected counts 429s from a full queue and 503s
+	// while draining.
+	GaugeQueueDepth       = "server_queue_depth"
+	GaugeSweepsInFlight   = "server_sweeps_inflight"
+	MetricSweepsAccepted  = "server_sweeps_accepted_total"
+	MetricSweepsRejected  = "server_sweeps_rejected_total"
+	MetricSweepsCompleted = "server_sweeps_completed_total"
 )
 
 // Delta returns cur-prev saturating at cur when a counter source was reset

@@ -1,18 +1,52 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"sync"
+	"time"
 )
 
 // publishOnce guards the expvar registration: expvar.Publish panics on
 // duplicate names, and Serve may be called once per binary but tests may
 // spin up several servers against the same process.
 var publishOnce sync.Once
+
+// ShutdownTimeout bounds how long a graceful HTTP shutdown waits for
+// in-flight requests before the listener is torn down anyway.
+const ShutdownTimeout = 5 * time.Second
+
+// HardenedServer wraps h in an http.Server with production limits: a
+// header-read deadline (so an idle or trickling client cannot pin a
+// connection pre-request), a body-read deadline, an idle keep-alive
+// deadline and a header size cap. WriteTimeout is deliberately left zero —
+// the daemon's SSE progress streams and long result downloads are
+// legitimate slow writes; per-request deadlines belong to the handlers.
+// Both the metrics endpoint here and internal/server build on this one
+// constructor so the hardening cannot drift apart.
+func HardenedServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// Shutdown gracefully stops srv: in-flight requests get ShutdownTimeout to
+// complete, then the server is closed outright. Safe to call from defer.
+func Shutdown(srv *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+	}
+}
 
 // Serve exposes reg for scraping on addr:
 //
@@ -22,7 +56,8 @@ var publishOnce sync.Once
 //
 // It returns the bound listener address (useful with ":0") and a shutdown
 // func. Handler errors never affect the simulation: the server runs on its
-// own goroutine and shutdown is best-effort.
+// own goroutine and shutdown drains in-flight scrapes for at most
+// ShutdownTimeout before closing.
 func Serve(addr string, reg *Registry) (string, func(), error) {
 	if reg == nil {
 		reg = Default
@@ -44,7 +79,7 @@ func Serve(addr string, reg *Registry) (string, func(), error) {
 		_ = json.NewEncoder(w).Encode(reg.Snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
-	srv := &http.Server{Handler: mux}
+	srv := HardenedServer(mux)
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	return ln.Addr().String(), func() { Shutdown(srv) }, nil
 }

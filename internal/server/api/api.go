@@ -1,0 +1,357 @@
+// Package api defines the leakd daemon's wire types and the HTTP client
+// used by leakbench's -remote mode. It is deliberately free of server
+// internals so thin clients pull in only the protocol; the client also
+// implements sim.RemoteRunner, which is how the whole leakbench figure
+// pipeline runs against a daemon without knowing about HTTP.
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/sim"
+)
+
+// Cell is one simulation cell in wire form. Technique uses the String
+// form of leakctl.Technique ("none", "drowsy", "gated-vss", "rbb").
+type Cell struct {
+	Bench     string `json:"bench"`
+	L2        int    `json:"l2_latency"`
+	Technique string `json:"technique"`
+	Interval  uint64 `json:"interval"`
+}
+
+// FromSpec converts a sim.CellSpec to wire form.
+func FromSpec(cs sim.CellSpec) Cell {
+	return Cell{Bench: cs.Bench, L2: cs.L2, Technique: cs.Technique.String(), Interval: cs.Interval}
+}
+
+// Spec converts the wire cell back to a sim.CellSpec.
+func (c Cell) Spec() (sim.CellSpec, error) {
+	t, err := leakctl.ParseTechnique(c.Technique)
+	if err != nil {
+		return sim.CellSpec{}, err
+	}
+	return sim.CellSpec{Bench: c.Bench, L2: c.L2, Technique: t, Interval: c.Interval}, nil
+}
+
+// key identifies a cell for client-side matching.
+func (c Cell) key() string {
+	return fmt.Sprintf("%s/%d/%s/%d", c.Bench, c.L2, strings.ToLower(c.Technique), c.Interval)
+}
+
+// SweepRequest is the POST /v1/sweeps body. Cells lists explicit cells;
+// the Benchmarks×Techniques×Intervals×L2Latencies cross product (plus
+// optional per-benchmark baselines) is expanded server-side and unioned
+// in. Instructions/Warmup of zero take the daemon's defaults.
+type SweepRequest struct {
+	Instructions uint64 `json:"instructions,omitempty"`
+	Warmup       uint64 `json:"warmup,omitempty"`
+
+	Cells []Cell `json:"cells,omitempty"`
+
+	Benchmarks  []string `json:"benchmarks,omitempty"`
+	Techniques  []string `json:"techniques,omitempty"`
+	Intervals   []uint64 `json:"intervals,omitempty"`
+	L2Latencies []int    `json:"l2_latencies,omitempty"`
+	// IncludeBaselines adds an uncontrolled (technique "none") cell per
+	// (benchmark, L2) of the cross product.
+	IncludeBaselines bool `json:"include_baselines,omitempty"`
+
+	// Priority is "interactive" or "bulk". Empty classifies by size:
+	// sweeps of at most two cells are interactive.
+	Priority string `json:"priority,omitempty"`
+	// TimeoutS bounds the sweep end to end (queue time included), in
+	// seconds. 0 means no deadline beyond the daemon's default.
+	TimeoutS float64 `json:"timeout_s,omitempty"`
+}
+
+// Sweep states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateCompleted = "completed"
+	StateFailed    = "failed"
+	StateCanceled  = "canceled"
+)
+
+// Terminal reports whether a sweep state is final.
+func Terminal(state string) bool {
+	return state == StateCompleted || state == StateFailed || state == StateCanceled
+}
+
+// CellStatus is one cell's progress within a sweep.
+type CellStatus struct {
+	Cell
+	// Hash is the cell's content address, filled once known.
+	Hash string `json:"hash,omitempty"`
+	// State is "pending", "done" or "failed".
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// SweepStatus is the GET /v1/sweeps/{id} body (also returned by submit).
+type SweepStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Priority string `json:"priority"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	// Executed counts cells actually simulated by this daemon process;
+	// StoreHits counts cells served from the content-addressed store;
+	// Resumed counts cells restored from the sweep's harness checkpoint.
+	Executed  int `json:"executed"`
+	StoreHits int `json:"store_hits"`
+	Resumed   int `json:"resumed"`
+	Failed    int `json:"failed"`
+
+	Error string       `json:"error,omitempty"`
+	Cells []CellStatus `json:"cells,omitempty"`
+}
+
+// CellRecord is the GET /v1/cells/{hash} body: the canonical identity
+// document and the stored sim.RunResult, byte-for-byte as first persisted.
+type CellRecord struct {
+	Hash  string          `json:"hash"`
+	Key   json.RawMessage `json:"key,omitempty"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status         string `json:"status"`
+	Draining       bool   `json:"draining"`
+	QueueDepth     int    `json:"queue_depth"`
+	SweepsInFlight int    `json:"sweeps_inflight"`
+	StoreCells     int    `json:"store_cells"`
+}
+
+// ErrorBody is the JSON error envelope on non-2xx responses.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// Client talks to a leakd daemon. The zero PollInterval defaults to 250ms.
+type Client struct {
+	Base         string
+	HTTP         *http.Client
+	PollInterval time.Duration
+}
+
+// NewClient builds a client for addr ("host:port" or a full http URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{Base: strings.TrimRight(addr, "/"), HTTP: &http.Client{}}
+}
+
+func (c *Client) poll() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 250 * time.Millisecond
+}
+
+// do issues one request and decodes the JSON response into out,
+// translating non-2xx statuses into errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("api: marshal request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return fmt.Errorf("api: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("api: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb ErrorBody
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+		msg := eb.Error
+		if msg == "" {
+			msg = resp.Status
+		}
+		return &StatusError{Code: resp.StatusCode, Msg: msg, RetryAfter: retryAfter(resp)}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decode %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// StatusError is a non-2xx response, carrying the Retry-After hint when
+// the daemon sent one (admission control's 429).
+type StatusError struct {
+	Code       int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("daemon returned %d: %s", e.Code, e.Msg)
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// SubmitSweep submits a sweep, retrying while the daemon's queue is full
+// (429 + Retry-After) until ctx expires.
+func (c *Client) SubmitSweep(ctx context.Context, req SweepRequest) (SweepStatus, error) {
+	for {
+		var st SweepStatus
+		err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &st)
+		if err == nil {
+			return st, nil
+		}
+		var se *StatusError
+		if !asStatus(err, &se) || se.Code != http.StatusTooManyRequests {
+			return SweepStatus{}, err
+		}
+		delay := se.RetryAfter
+		if delay <= 0 {
+			delay = 2 * time.Second
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return SweepStatus{}, ctx.Err()
+		}
+	}
+}
+
+// asStatus is errors.As without the import dance for a single use.
+func asStatus(err error, target **StatusError) bool {
+	se, ok := err.(*StatusError)
+	if ok {
+		*target = se
+	}
+	return ok
+}
+
+// Sweep fetches a sweep's status.
+func (c *Client) Sweep(ctx context.Context, id string) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st)
+	return st, err
+}
+
+// WaitSweep polls until the sweep reaches a terminal state or ctx expires.
+func (c *Client) WaitSweep(ctx context.Context, id string) (SweepStatus, error) {
+	for {
+		st, err := c.Sweep(ctx, id)
+		if err != nil {
+			return SweepStatus{}, err
+		}
+		if Terminal(st.State) {
+			return st, nil
+		}
+		select {
+		case <-time.After(c.poll()):
+		case <-ctx.Done():
+			return SweepStatus{}, ctx.Err()
+		}
+	}
+}
+
+// Cell fetches one stored cell by content address.
+func (c *Client) Cell(ctx context.Context, hash string) (CellRecord, error) {
+	var rec CellRecord
+	err := c.do(ctx, http.MethodGet, "/v1/cells/"+hash, nil, &rec)
+	return rec, err
+}
+
+// Health fetches the daemon's health document.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// RunCells implements sim.RemoteRunner: it submits the cells as one sweep
+// (interactive when small), waits for completion and downloads each
+// completed cell's stored result. Per-cell failures come back as
+// RemoteCell.Err; a sweep that ends canceled or failed is a batch error.
+func (c *Client) RunCells(ctx context.Context, instructions, warmup uint64, specs []sim.CellSpec) ([]sim.RemoteCell, error) {
+	req := SweepRequest{Instructions: instructions, Warmup: warmup}
+	for _, sp := range specs {
+		req.Cells = append(req.Cells, FromSpec(sp))
+	}
+	st, err := c.SubmitSweep(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	st, err = c.WaitSweep(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != StateCompleted {
+		msg := st.Error
+		if msg == "" {
+			msg = "sweep ended " + st.State
+		}
+		return nil, fmt.Errorf("sweep %s: %s", st.ID, msg)
+	}
+	byKey := make(map[string]CellStatus, len(st.Cells))
+	for _, cs := range st.Cells {
+		byKey[cs.key()] = cs
+	}
+	out := make([]sim.RemoteCell, 0, len(specs))
+	for _, sp := range specs {
+		rc := sim.RemoteCell{Spec: sp}
+		cs, ok := byKey[FromSpec(sp).key()]
+		switch {
+		case !ok:
+			rc.Err = "daemon status omitted this cell"
+		case cs.State == "done" && cs.Hash != "":
+			rec, err := c.Cell(ctx, cs.Hash)
+			if err != nil {
+				return nil, err
+			}
+			if err := json.Unmarshal(rec.Value, &rc.Result); err != nil {
+				return nil, fmt.Errorf("api: decode cell %s: %w", cs.Hash, err)
+			}
+		default:
+			rc.Err = cs.Error
+			if rc.Err == "" {
+				rc.Err = "cell ended in state " + cs.State
+			}
+		}
+		out = append(out, rc)
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"hotleakage/internal/obs"
+)
+
+// hubBufCap bounds each sweep's replay buffer: late SSE subscribers see at
+// most the last hubBufCap events. Oldest events are dropped first.
+const hubBufCap = 4096
+
+// subBufCap is the per-subscriber channel depth; a subscriber that cannot
+// drain (stalled TCP peer) loses events rather than stalling the sweep.
+const subBufCap = 256
+
+// hub fans a sweep's trace events out to SSE subscribers while keeping a
+// bounded replay buffer so a subscriber attaching mid-sweep (or after it
+// finished) still sees the history. It implements harness.EventSink, so the
+// supervisor's run_start/run_done/checkpoint/store_hit records flow through
+// unchanged — the SSE stream is the harness trace, joined by run key.
+type hub struct {
+	mu     sync.Mutex
+	buf    []obs.Record
+	start  int // ring read index into buf once full
+	subs   map[chan obs.Record]struct{}
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan obs.Record]struct{})}
+}
+
+// Write implements harness.EventSink. Safe for concurrent use; never
+// blocks — slow subscribers drop events.
+func (h *hub) Write(rec obs.Record) {
+	if rec.Time.IsZero() {
+		rec.Time = time.Now()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if len(h.buf) < hubBufCap {
+		h.buf = append(h.buf, rec)
+	} else {
+		h.buf[h.start] = rec
+		h.start = (h.start + 1) % hubBufCap
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- rec:
+		default:
+		}
+	}
+}
+
+// subscribe returns the replay history in order plus a live channel. The
+// channel is closed when the hub closes (sweep finished); cancel detaches
+// the subscriber. On an already-closed hub the channel comes back closed,
+// so callers uniformly replay then drain.
+func (h *hub) subscribe() (replay []obs.Record, ch chan obs.Record, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	replay = make([]obs.Record, 0, len(h.buf))
+	replay = append(replay, h.buf[h.start:]...)
+	replay = append(replay, h.buf[:h.start]...)
+	ch = make(chan obs.Record, subBufCap)
+	if h.closed {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+		}
+	}
+}
+
+// close ends the stream: subscriber channels are closed (their SSE handlers
+// return after draining) and further writes are dropped. The replay buffer
+// stays readable for late subscribers. Idempotent.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+		delete(h.subs, ch)
+	}
+}

@@ -1,0 +1,729 @@
+// Package server is leakd's core: an HTTP/JSON facade over the simulation
+// harness with a content-addressed result store behind it. Sweeps are
+// submitted as cell sets, admitted into a bounded dual-priority queue
+// (interactive requests overtake bulk sweeps), executed on the existing
+// harness worker pool with per-sweep checkpoints, and resolved through the
+// store first so repeated or overlapping sweeps simulate only the delta.
+// Progress streams out over SSE as the harness's own trace events.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"hotleakage/internal/harness"
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/obs"
+	"hotleakage/internal/server/api"
+	"hotleakage/internal/sim"
+	"hotleakage/internal/store"
+	"hotleakage/internal/workload"
+
+	"context"
+)
+
+var (
+	obsQueueDepth      = obs.Default.Gauge(obs.GaugeQueueDepth)
+	obsSweepsInFlight  = obs.Default.Gauge(obs.GaugeSweepsInFlight)
+	obsSweepsAccepted  = obs.Default.Counter(obs.MetricSweepsAccepted)
+	obsSweepsRejected  = obs.Default.Counter(obs.MetricSweepsRejected)
+	obsSweepsCompleted = obs.Default.Counter(obs.MetricSweepsCompleted)
+)
+
+// Config parameterizes a daemon. Store is required; everything else has a
+// serviceable default.
+type Config struct {
+	// Store is the content-addressed result store backing the daemon.
+	Store *store.Store
+	// Workers sizes each sweep's harness pool (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth caps each priority class's wait queue (default 16);
+	// submissions beyond it are rejected with 429 + Retry-After.
+	QueueDepth int
+	// SweepConcurrency is how many sweeps execute at once (default 1; the
+	// harness pool already parallelizes within a sweep).
+	SweepConcurrency int
+	// MaxCells caps cells per sweep (default 4096); larger requests are 400s.
+	MaxCells int
+	// DefaultInstructions/DefaultWarmup fill zero-valued requests
+	// (defaults 1M/300K, the reduced-scale paper budget).
+	DefaultInstructions uint64
+	DefaultWarmup       uint64
+	// RunTimeout and MaxRetries pass through to the harness per run.
+	RunTimeout time.Duration
+	MaxRetries int
+	// RetryAfter is the backoff hint attached to 429s (default 5s).
+	RetryAfter time.Duration
+	// Events, when non-nil, additionally receives every sweep's trace
+	// events (e.g. an obs.TraceWriter for on-disk telemetry).
+	Events harness.EventSink
+	// Log receives operational lines; nil discards them.
+	Log *log.Logger
+}
+
+// Server is the daemon. Build with New, mount Handler, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	traces *sim.TraceCache
+	mux    *http.ServeMux
+
+	interactive chan *sweep
+	bulk        chan *sweep
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	stop       chan struct{}
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	seq      int
+	sweeps   map[string]*sweep
+	byHash   map[string]*sweep // request hash -> most recent sweep
+}
+
+// sweep is one admitted request moving through queued -> running ->
+// {completed, failed, canceled}.
+type sweep struct {
+	id           string
+	reqHash      string
+	priority     string
+	cells        []sim.CellSpec
+	wire         []api.Cell
+	instructions uint64
+	warmup       uint64
+	ctx          context.Context
+	cancel       context.CancelFunc
+	hub          *hub
+
+	mu       sync.Mutex
+	state    string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	exp      *sim.Experiments // live counters while running
+	outcomes []sim.CellOutcome
+	errMsg   string
+	// final tallies, captured before the Experiments is closed
+	executed, storeHits, resumed int
+}
+
+// New builds a daemon over cfg and starts its executors. The caller mounts
+// Handler() on an http.Server (obs.HardenedServer) and must eventually call
+// Shutdown.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: Config.Store is required")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Store.Dir(), "checkpoints"), 0o755); err != nil {
+		return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	s := newServer(cfg)
+	s.startExecutors()
+	return s, nil
+}
+
+// withDefaults fills zero-valued knobs.
+func withDefaults(cfg Config) Config {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.SweepConcurrency <= 0 {
+		cfg.SweepConcurrency = 1
+	}
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = 4096
+	}
+	if cfg.DefaultInstructions == 0 {
+		cfg.DefaultInstructions = 1_000_000
+	}
+	if cfg.DefaultWarmup == 0 {
+		cfg.DefaultWarmup = 300_000
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 5 * time.Second
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(os.Stderr, "", 0)
+		cfg.Log.SetOutput(discard{})
+	}
+	return cfg
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// newServer builds the daemon without starting executors; in-package tests
+// use the paused form to exercise admission control deterministically.
+func newServer(cfg Config) *Server {
+	cfg = withDefaults(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		traces:      sim.NewTraceCache(""),
+		interactive: make(chan *sweep, cfg.QueueDepth),
+		bulk:        make(chan *sweep, cfg.QueueDepth),
+		rootCtx:     ctx,
+		rootCancel:  cancel,
+		stop:        make(chan struct{}),
+		sweeps:      make(map[string]*sweep),
+		byHash:      make(map[string]*sweep),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/cells/{hash}", s.handleCell)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.Default.WriteProm(w)
+	})
+	s.mux = mux
+	return s
+}
+
+func (s *Server) startExecutors() {
+	s.wg.Add(s.cfg.SweepConcurrency)
+	for i := 0; i < s.cfg.SweepConcurrency; i++ {
+		go s.executor()
+	}
+}
+
+// Handler returns the daemon's route table, ready for obs.HardenedServer.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// executor pulls sweeps off the queues, interactive first: a ready
+// interactive sweep always overtakes a waiting bulk one.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for {
+		var sw *sweep
+		select {
+		case sw = <-s.interactive:
+		default:
+			select {
+			case <-s.stop:
+				return
+			case sw = <-s.interactive:
+			case sw = <-s.bulk:
+			}
+		}
+		obsQueueDepth.Add(-1)
+		s.execute(sw)
+	}
+}
+
+// multiSink tees harness events to the sweep's hub and the global sink.
+type multiSink []harness.EventSink
+
+func (m multiSink) Write(rec obs.Record) {
+	for _, s := range m {
+		if s != nil {
+			s.Write(rec)
+		}
+	}
+}
+
+// execute runs one sweep to a terminal state. Every completed cell is in
+// the store (and the sweep's checkpoint) before the state goes terminal, so
+// a drain mid-sweep loses no finished work.
+func (s *Server) execute(sw *sweep) {
+	obsSweepsInFlight.Add(1)
+	defer obsSweepsInFlight.Add(-1)
+	defer sw.cancel()
+
+	e := sim.NewExperiments()
+	e.Instructions = sw.instructions
+	e.Warmup = sw.warmup
+	e.Parallel = true
+	e.Workers = s.cfg.Workers
+	e.Store = s.cfg.Store
+	e.SharedTraces = s.traces
+	e.Ctx = sw.ctx
+	e.RunTimeout = s.cfg.RunTimeout
+	e.MaxRetries = s.cfg.MaxRetries
+	e.Events = multiSink{sw.hub, s.cfg.Events}
+	// The checkpoint is keyed by the request hash: a daemon killed
+	// mid-sweep resumes exactly this request's remaining cells on restart.
+	ckptDir := filepath.Join(s.cfg.Store.Dir(), "checkpoints")
+	_ = os.MkdirAll(ckptDir, 0o755)
+	e.CheckpointPath = filepath.Join(ckptDir, sw.reqHash+".jsonl")
+	e.Resume = true
+
+	sw.mu.Lock()
+	sw.state = api.StateRunning
+	sw.started = time.Now()
+	sw.exp = e
+	sw.mu.Unlock()
+	sw.hub.Write(obs.Record{Type: "sweep_start", RunID: sw.id, Detail: sw.reqHash})
+	s.cfg.Log.Printf("leakd: sweep %s running (%d cells, %s)", sw.id, len(sw.cells), sw.priority)
+
+	outs, runErr := e.RunCells(sw.cells)
+	if runErr == nil {
+		runErr = e.Err()
+	}
+	executed, hits, resumed := e.Executed(), e.StoreHits(), e.Resumed()
+	_ = e.Close()
+
+	state := api.StateCompleted
+	var msg string
+	failed := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			failed++
+		}
+	}
+	switch {
+	case runErr != nil && sw.ctx.Err() != nil:
+		state, msg = api.StateCanceled, sw.ctx.Err().Error()
+	case runErr != nil:
+		state, msg = api.StateFailed, runErr.Error()
+	case failed > 0 && sw.ctx.Err() != nil:
+		// No infrastructure error, but cells were cut short by the drain
+		// or deadline: the sweep is canceled, not completed.
+		state, msg = api.StateCanceled, sw.ctx.Err().Error()
+	}
+
+	sw.mu.Lock()
+	sw.state = state
+	sw.finished = time.Now()
+	sw.exp = nil
+	sw.outcomes = outs
+	sw.errMsg = msg
+	sw.executed, sw.storeHits, sw.resumed = executed, hits, resumed
+	sw.mu.Unlock()
+
+	sw.hub.Write(obs.Record{Type: "sweep_" + state, RunID: sw.id, Error: msg})
+	sw.hub.close()
+	obsSweepsCompleted.Add(1)
+	s.cfg.Log.Printf("leakd: sweep %s %s (executed=%d store_hits=%d resumed=%d failed=%d)",
+		sw.id, state, executed, hits, resumed, failed)
+}
+
+// finishUnrun terminates a sweep that never reached an executor.
+func (s *Server) finishUnrun(sw *sweep, state, msg string) {
+	sw.cancel()
+	sw.mu.Lock()
+	sw.state = state
+	sw.finished = time.Now()
+	sw.errMsg = msg
+	sw.mu.Unlock()
+	sw.hub.Write(obs.Record{Type: "sweep_" + state, RunID: sw.id, Error: msg})
+	sw.hub.close()
+}
+
+// Shutdown drains the daemon: new submissions get 503, queued sweeps are
+// canceled, running sweeps get their contexts canceled (in-flight cells
+// drain; completed cells are already checkpointed and stored), and the
+// executors exit. It blocks until the drain finishes or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.stop)
+	}
+
+	// Empty the queues; executors racing us just run the sweep with an
+	// already-canceled context, which lands in the same canceled state.
+	for drained := false; !drained; {
+		select {
+		case sw := <-s.interactive:
+			obsQueueDepth.Add(-1)
+			s.finishUnrun(sw, api.StateCanceled, "daemon draining")
+		case sw := <-s.bulk:
+			obsQueueDepth.Add(-1)
+			s.finishUnrun(sw, api.StateCanceled, "daemon draining")
+		default:
+			drained = true
+		}
+	}
+	s.rootCancel()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain timed out: %w", ctx.Err())
+	}
+}
+
+// ---- request admission ----
+
+// expandCells turns a request into a deduplicated cell list: explicit
+// cells first, then the cross product. Baseline ("none") cells are
+// normalized to interval 0 so they alias the single uncontrolled run.
+func expandCells(req api.SweepRequest) ([]sim.CellSpec, []api.Cell, error) {
+	var specs []sim.CellSpec
+	seen := make(map[string]bool)
+	add := func(c api.Cell) error {
+		sp, err := c.Spec()
+		if err != nil {
+			return err
+		}
+		if _, ok := workload.ByName(sp.Bench); !ok {
+			return fmt.Errorf("unknown benchmark %q", sp.Bench)
+		}
+		if sp.L2 <= 0 {
+			return fmt.Errorf("cell %s: l2_latency must be positive", sp.Key())
+		}
+		if sp.Technique == leakctl.TechNone { // one uncontrolled run per (bench, L2)
+			sp.Interval = 0
+		}
+		if !seen[sp.Key()] {
+			seen[sp.Key()] = true
+			specs = append(specs, sp)
+		}
+		return nil
+	}
+	for _, c := range req.Cells {
+		if err := add(c); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(req.Benchmarks) > 0 {
+		l2s := req.L2Latencies
+		if len(l2s) == 0 {
+			l2s = []int{11}
+		}
+		intervals := req.Intervals
+		if len(intervals) == 0 {
+			intervals = []uint64{0}
+		}
+		for _, b := range req.Benchmarks {
+			for _, l2 := range l2s {
+				if req.IncludeBaselines {
+					if err := add(api.Cell{Bench: b, L2: l2, Technique: "none"}); err != nil {
+						return nil, nil, err
+					}
+				}
+				for _, tname := range req.Techniques {
+					for _, iv := range intervals {
+						if err := add(api.Cell{Bench: b, L2: l2, Technique: tname, Interval: iv}); err != nil {
+							return nil, nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	wire := make([]api.Cell, len(specs))
+	for i, sp := range specs {
+		wire[i] = api.FromSpec(sp)
+	}
+	return specs, wire, nil
+}
+
+// requestHash is the sweep's identity: budget plus the sorted cell set.
+// It names the checkpoint file and dedupes identical in-flight requests.
+func requestHash(instructions, warmup uint64, wire []api.Cell) (string, error) {
+	sorted := append([]api.Cell(nil), wire...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.L2 != b.L2 {
+			return a.L2 < b.L2
+		}
+		if a.Technique != b.Technique {
+			return a.Technique < b.Technique
+		}
+		return a.Interval < b.Interval
+	})
+	return store.CanonicalHash(struct {
+		Instructions uint64     `json:"instructions"`
+		Warmup       uint64     `json:"warmup"`
+		Cells        []api.Cell `json:"cells"`
+	}{instructions, warmup, sorted})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Instructions == 0 {
+		req.Instructions = s.cfg.DefaultInstructions
+	}
+	if req.Warmup == 0 {
+		req.Warmup = s.cfg.DefaultWarmup
+	}
+	specs, wire, err := expandCells(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(specs) == 0 {
+		httpError(w, http.StatusBadRequest, "sweep has no cells")
+		return
+	}
+	if len(specs) > s.cfg.MaxCells {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("sweep has %d cells, limit is %d", len(specs), s.cfg.MaxCells))
+		return
+	}
+	priority := req.Priority
+	switch priority {
+	case "interactive", "bulk":
+	case "":
+		if len(specs) <= 2 {
+			priority = "interactive"
+		} else {
+			priority = "bulk"
+		}
+	default:
+		httpError(w, http.StatusBadRequest, `priority must be "interactive" or "bulk"`)
+		return
+	}
+	reqHash, err := requestHash(req.Instructions, req.Warmup, wire)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "hash request: "+err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		obsSweepsRejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	// Identical non-terminal request: alias onto the in-flight sweep
+	// instead of queueing duplicate work.
+	if prev := s.byHash[reqHash]; prev != nil {
+		prev.mu.Lock()
+		terminal := api.Terminal(prev.state)
+		prev.mu.Unlock()
+		if !terminal {
+			s.mu.Unlock()
+			respondJSON(w, http.StatusOK, s.status(prev, false))
+			return
+		}
+	}
+	s.seq++
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if req.TimeoutS > 0 {
+		ctx, cancel = context.WithTimeout(s.rootCtx, time.Duration(req.TimeoutS*float64(time.Second)))
+	} else {
+		ctx, cancel = context.WithCancel(s.rootCtx)
+	}
+	sw := &sweep{
+		id:           fmt.Sprintf("s-%06d", s.seq),
+		reqHash:      reqHash,
+		priority:     priority,
+		cells:        specs,
+		wire:         wire,
+		instructions: req.Instructions,
+		warmup:       req.Warmup,
+		ctx:          ctx,
+		cancel:       cancel,
+		hub:          newHub(),
+		state:        api.StateQueued,
+		created:      time.Now(),
+	}
+	q := s.bulk
+	if priority == "interactive" {
+		q = s.interactive
+	}
+	select {
+	case q <- sw:
+	default:
+		s.mu.Unlock()
+		cancel()
+		obsSweepsRejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+		httpError(w, http.StatusTooManyRequests, priority+" queue is full")
+		return
+	}
+	s.sweeps[sw.id] = sw
+	s.byHash[reqHash] = sw
+	s.mu.Unlock()
+	obsQueueDepth.Add(1)
+	obsSweepsAccepted.Add(1)
+	respondJSON(w, http.StatusAccepted, s.status(sw, false))
+}
+
+// ---- status ----
+
+// status snapshots a sweep for the wire. Cell-level detail is included
+// only when withCells (the per-sweep GET), not on submit responses.
+func (s *Server) status(sw *sweep, withCells bool) api.SweepStatus {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	st := api.SweepStatus{
+		ID:       sw.id,
+		State:    sw.state,
+		Priority: sw.priority,
+		Created:  sw.created,
+		Total:    len(sw.cells),
+		Error:    sw.errMsg,
+	}
+	if !sw.started.IsZero() {
+		t := sw.started
+		st.Started = &t
+	}
+	if !sw.finished.IsZero() {
+		t := sw.finished
+		st.Finished = &t
+	}
+	if sw.exp != nil { // running: live counters
+		st.Executed = sw.exp.Executed()
+		st.StoreHits = sw.exp.StoreHits()
+		st.Resumed = sw.exp.Resumed()
+		st.Completed = st.Executed + st.StoreHits + st.Resumed
+	} else {
+		st.Executed, st.StoreHits, st.Resumed = sw.executed, sw.storeHits, sw.resumed
+	}
+	if sw.outcomes != nil {
+		st.Completed = 0
+		for _, o := range sw.outcomes {
+			cs := api.CellStatus{Cell: api.FromSpec(o.Spec), Hash: o.Hash}
+			if o.Err != nil {
+				cs.State = "failed"
+				cs.Error = o.Err.Err
+				st.Failed++
+			} else {
+				cs.State = "done"
+				st.Completed++
+			}
+			if withCells {
+				st.Cells = append(st.Cells, cs)
+			}
+		}
+	} else if withCells {
+		for _, c := range sw.wire {
+			st.Cells = append(st.Cells, api.CellStatus{Cell: c, State: "pending"})
+		}
+	}
+	return st
+}
+
+func (s *Server) lookup(id string) *sweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweeps[id]
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(r.PathValue("id"))
+	if sw == nil {
+		httpError(w, http.StatusNotFound, "no such sweep")
+		return
+	}
+	respondJSON(w, http.StatusOK, s.status(sw, true))
+}
+
+// handleEvents streams the sweep's trace events as SSE: the buffered
+// history first, then live events until the sweep finishes or the client
+// goes away. Event types are the harness's record types (run_start,
+// run_done, checkpoint_hit, store_hit, sweep_*).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(r.PathValue("id"))
+	if sw == nil {
+		httpError(w, http.StatusNotFound, "no such sweep")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	replay, ch, cancel := sw.hub.subscribe()
+	defer cancel()
+	for _, rec := range replay {
+		if err := writeSSE(w, rec); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case rec, open := <-ch:
+			if !open {
+				return // sweep finished; history already flushed
+			}
+			if err := writeSSE(w, rec); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, rec obs.Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", rec.Type, data)
+	return err
+}
+
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	rec, ok, err := s.cfg.Store.Get(hash)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such cell")
+		return
+	}
+	respondJSON(w, http.StatusOK, api.CellRecord{Hash: rec.Hash, Key: rec.Key, Value: rec.Value})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	h := api.Health{
+		Status:         "ok",
+		Draining:       draining,
+		QueueDepth:     len(s.interactive) + len(s.bulk),
+		SweepsInFlight: int(obsSweepsInFlight.Value()),
+		StoreCells:     s.cfg.Store.Len(),
+	}
+	if draining {
+		h.Status = "draining"
+	}
+	respondJSON(w, http.StatusOK, h)
+}
+
+func respondJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	respondJSON(w, code, api.ErrorBody{Error: msg})
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"hotleakage/internal/harness"
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/store"
+	"hotleakage/internal/workload"
+)
+
+// CellSpec names one simulation cell by its public coordinates: the
+// benchmark, the machine's L2 hit latency (the paper's design-space axis),
+// the leakage-control technique and the decay interval. Together with the
+// suite's instruction budget it identifies a cell for the daemon API, the
+// remote client and the content-addressed result store.
+type CellSpec struct {
+	Bench     string
+	L2        int
+	Technique leakctl.Technique
+	Interval  uint64
+}
+
+// Key returns the cell's run key (the harness job / checkpoint identity).
+func (cs CellSpec) Key() string { return runKey(cs.Bench, cs.L2, cs.Technique, cs.Interval) }
+
+// cellIdentity is the canonical serialization a cell is content-addressed
+// by: the full machine description (which embeds the instruction budget),
+// the benchmark, the technique, the decay interval — and the simulator's
+// checkpointVersion, so results can never alias across a format or
+// semantics change. The JSON field order is irrelevant: the store hashes
+// the canonicalized (sorted-key) form.
+type cellIdentity struct {
+	CheckpointVersion int           `json:"checkpoint_version"`
+	Machine           MachineConfig `json:"machine"`
+	Bench             string        `json:"bench"`
+	Technique         string        `json:"technique"`
+	Interval          uint64        `json:"interval"`
+}
+
+// cellIdentityFor builds the identity document for one cell on mc.
+func cellIdentityFor(mc MachineConfig, bench string, t leakctl.Technique, interval uint64) cellIdentity {
+	return cellIdentity{
+		CheckpointVersion: checkpointVersion,
+		Machine:           mc,
+		Bench:             bench,
+		Technique:         t.String(),
+		Interval:          interval,
+	}
+}
+
+// CellHash returns the content address of one cell: the hex SHA-256 of its
+// canonical identity document. Identical configurations hash identically
+// across processes, hosts and struct-field reorderings; any change to the
+// machine, the budget or checkpointVersion changes the address.
+func CellHash(mc MachineConfig, bench string, t leakctl.Technique, interval uint64) (string, error) {
+	return store.CanonicalHash(cellIdentityFor(mc, bench, t, interval))
+}
+
+// CellOutcome is the result of one RunCells cell: the stored hash and
+// value on success, or the structured failure.
+type CellOutcome struct {
+	Spec CellSpec
+	// Key is the run key (harness job / checkpoint identity).
+	Key string
+	// Hash is the cell's content address (empty when the cell failed
+	// before an identity could be computed).
+	Hash   string
+	Result RunResult
+	// Err is non-nil when the cell failed; Result is then meaningless.
+	Err *harness.RunError
+}
+
+// RunCells executes an explicit set of cells (the daemon's entry point:
+// a sweep request is a list of CellSpecs). Cells resolve through the usual
+// ladder — memo, content-addressed store, checkpoint, simulation — and
+// individual failures degrade to per-cell errors, not a batch error. The
+// returned outcomes parallel specs.
+func (e *Experiments) RunCells(specs []CellSpec) ([]CellOutcome, error) {
+	outs := make([]CellOutcome, len(specs))
+	rss := make([]runSpec, 0, len(specs))
+	for i, cs := range specs {
+		outs[i].Spec = cs
+		outs[i].Key = cs.Key()
+		prof, ok := workload.ByName(cs.Bench)
+		if !ok {
+			outs[i].Err = &harness.RunError{
+				Key:       outs[i].Key,
+				Benchmark: cs.Bench,
+				Technique: cs.Technique.String(),
+				Err:       fmt.Sprintf("unknown benchmark %q", cs.Bench),
+			}
+			continue
+		}
+		rss = append(rss, runSpec{prof, cs.L2, cs.Technique, cs.Interval})
+	}
+	if err := e.runSpecs(rss); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range outs {
+		if outs[i].Err != nil {
+			continue
+		}
+		if r, ok := e.runs[outs[i].Key]; ok {
+			outs[i].Result = r
+			mc := e.suiteLocked(outs[i].Spec.L2).MC
+			h, err := CellHash(mc, outs[i].Spec.Bench, outs[i].Spec.Technique, outs[i].Spec.Interval)
+			if err == nil {
+				outs[i].Hash = h
+			}
+			continue
+		}
+		if fe, failed := e.failures[outs[i].Key]; failed {
+			outs[i].Err = fe
+			continue
+		}
+		outs[i].Err = &harness.RunError{
+			Key: outs[i].Key, Benchmark: outs[i].Spec.Bench,
+			Technique: outs[i].Spec.Technique.String(),
+			Err:       "cell produced no result",
+		}
+	}
+	return outs, nil
+}
+
+// RemoteCell is one cell's outcome as reported by a remote daemon.
+type RemoteCell struct {
+	Spec   CellSpec
+	Result RunResult
+	// Err is non-empty when the cell failed remotely.
+	Err string
+}
+
+// RemoteRunner executes cells on a remote leakd daemon. When
+// Experiments.Remote is set, pending cells are delegated to it instead of
+// the local supervisor — the CLI becomes a thin client and every figure
+// and table renders from remotely simulated (or store-served) results.
+// Implementations live outside this package (internal/server/api) to keep
+// sim free of transport concerns.
+type RemoteRunner interface {
+	RunCells(ctx context.Context, instructions, warmup uint64, specs []CellSpec) ([]RemoteCell, error)
+}
+
+// runSpecsRemote resolves pending specs through the remote daemon,
+// recording results and failures exactly as the local path would. A
+// transport-level failure fails the whole batch (there is nothing partial
+// to keep); per-cell failures degrade to memoized ERR cells.
+func (e *Experiments) runSpecsRemote(pending []runSpec) error {
+	specs := make([]CellSpec, len(pending))
+	for i, sp := range pending {
+		specs[i] = CellSpec{Bench: sp.prof.Name, L2: sp.l2, Technique: sp.tech, Interval: sp.interval}
+	}
+	cells, err := e.Remote.RunCells(e.ctx(), e.Instructions, e.Warmup, specs)
+	if err != nil {
+		return fmt.Errorf("remote: %w", err)
+	}
+	byKey := make(map[string]RemoteCell, len(cells))
+	for _, c := range cells {
+		byKey[c.Spec.Key()] = c
+	}
+	type seed struct {
+		l2   int
+		name string
+		r    RunResult
+	}
+	var seeds []seed
+	e.mu.Lock()
+	for _, sp := range pending {
+		k := sp.key()
+		c, ok := byKey[k]
+		switch {
+		case !ok:
+			e.failures[k] = &harness.RunError{
+				Key: k, Benchmark: sp.prof.Name, Technique: sp.tech.String(),
+				Err: "remote daemon returned no result for this cell",
+			}
+		case c.Err != "":
+			e.failures[k] = &harness.RunError{
+				Key: k, Benchmark: sp.prof.Name, Technique: sp.tech.String(),
+				Err: c.Err,
+			}
+		default:
+			e.runs[k] = c.Result
+			e.remoted++
+			if sp.tech == leakctl.TechNone {
+				seeds = append(seeds, seed{sp.l2, sp.prof.Name, c.Result})
+			}
+		}
+	}
+	e.mu.Unlock()
+	for _, sd := range seeds {
+		e.suite(sd.l2).SetBaseline(sd.name, sd.r)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -16,12 +17,20 @@ import (
 	"hotleakage/internal/leakage"
 	"hotleakage/internal/leakctl"
 	"hotleakage/internal/obs"
+	"hotleakage/internal/store"
 	"hotleakage/internal/workload"
 )
 
 // obsCellsPlanned tracks how many cells the suite has planned so far; the
 // sampler pairs it with the harness outcome counters for progress/ETA.
 var obsCellsPlanned = obs.Default.Gauge(obs.GaugeCellsPlanned)
+
+// Result-store outcome counters: cells served from the content-addressed
+// store vs. cells that had to be resolved further down the ladder.
+var (
+	obsStoreHits   = obs.Default.Counter(obs.MetricStoreHits)
+	obsStoreMisses = obs.Default.Counter(obs.MetricStoreMisses)
+)
 
 // DefaultInterval is the fixed decay interval used for the non-adaptive
 // figures. The paper chose "shorter decay intervals that — for our leakage
@@ -100,6 +109,23 @@ type Experiments struct {
 	// this directory instead of memory — for memory-constrained hosts
 	// running very long traces (each replay then re-reads its file).
 	TraceSpillDir string
+	// SharedTraces, when non-nil, is an externally owned instruction-trace
+	// cache used instead of a per-Experiments one — the daemon shares one
+	// cache across every sweep it serves. Close never closes it.
+	SharedTraces *TraceCache
+
+	// Store, when non-nil, is the content-addressed result store: before a
+	// cell is executed (or even checkpoint-resolved) its hash is looked up,
+	// and every completed cell is persisted, so identical cells are served
+	// from disk across processes and daemon restarts. The EWMA cost model
+	// is persisted in the store's meta segment, so a fresh process
+	// schedules longest-first from its first batch.
+	Store *store.Store
+
+	// Remote, when non-nil, delegates execution of pending cells to a
+	// leakd daemon (leakbench -remote): the local process keeps the memo,
+	// evaluation and rendering layers and ships only simulation out.
+	Remote RemoteRunner
 
 	// Ctx, when non-nil, cancels the whole suite (SIGINT handling in the
 	// commands). In-flight runs drain as Canceled failures; completed
@@ -126,15 +152,18 @@ type Experiments struct {
 	// stay deterministic.
 	AdapterFor func(bench string, t leakctl.Technique, interval uint64) leakctl.Adapter
 
-	mu       sync.Mutex
-	suites   map[int]*Suite // per L2 latency
-	runs     map[string]RunResult
-	failures map[string]*harness.RunError
-	sup      *harness.Supervisor[RunResult]
-	ckpt     *harness.Checkpoint
-	supErr   error
-	executed int // runs actually simulated this process
-	resumed  int // runs restored from the checkpoint
+	mu        sync.Mutex
+	suites    map[int]*Suite // per L2 latency
+	runs      map[string]RunResult
+	failures  map[string]*harness.RunError
+	sup       *harness.Supervisor[RunResult]
+	ckpt      *harness.Checkpoint
+	supErr    error
+	executed  int // runs actually simulated this process
+	resumed   int // runs restored from the checkpoint
+	storeHits int // runs served from the content-addressed store
+	remoted   int // runs delegated to a remote daemon
+	storeErr  error
 
 	// traces is the shared instruction-trace cache, attached to every
 	// suite (nil when DisableTraceCache).
@@ -182,10 +211,14 @@ func (e *Experiments) suiteLocked(l2 int) *Suite {
 		mc.Warmup = e.Warmup
 		s = NewSuite(mc)
 		if !e.DisableTraceCache {
-			if e.traces == nil {
-				e.traces = NewTraceCache(e.TraceSpillDir)
+			if e.SharedTraces != nil {
+				s.Traces = e.SharedTraces
+			} else {
+				if e.traces == nil {
+					e.traces = NewTraceCache(e.TraceSpillDir)
+				}
+				s.Traces = e.traces
 			}
-			s.Traces = e.traces
 		}
 		e.suites[l2] = s
 	}
@@ -247,7 +280,51 @@ func (e *Experiments) supervisor() (*harness.Supervisor[RunResult], error) {
 		// the job closures retrieve it through harness.WorkerValue.
 		WorkerState: func() any { return new(RunState) },
 	})
+	// Warm the dispatch cost model from the store's meta segment: a fresh
+	// process then schedules longest-first from its very first batch
+	// instead of re-learning ns/instr from zero.
+	if e.Store != nil && len(e.costs) == 0 {
+		var persisted map[string]float64
+		if ok, err := e.Store.GetMeta(costModelMetaKey, &persisted); err == nil && ok {
+			for k, v := range persisted {
+				if v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+					e.costs[k] = v
+				}
+			}
+		}
+	}
 	return e.sup, nil
+}
+
+// costModelMetaKey names the persisted EWMA cost model in the result
+// store's meta segment. Values are observed ns per instruction keyed by
+// bench+"/"+technique — host-dependent but self-correcting: the EWMA folds
+// fresh observations in, so a model learned on another machine converges
+// rather than poisons.
+const costModelMetaKey = "cost_model_ns_per_instr"
+
+// saveCostModel persists the current cost model to the store's meta
+// segment. Failures are retained for Err, not fatal: a read-only store
+// degrades scheduling, not results.
+func (e *Experiments) saveCostModel() {
+	e.mu.Lock()
+	if e.Store == nil || len(e.costs) == 0 {
+		e.mu.Unlock()
+		return
+	}
+	snapshot := make(map[string]float64, len(e.costs))
+	for k, v := range e.costs {
+		snapshot[k] = v
+	}
+	st := e.Store
+	e.mu.Unlock()
+	if err := st.PutMeta(costModelMetaKey, snapshot); err != nil {
+		e.mu.Lock()
+		if e.storeErr == nil {
+			e.storeErr = err
+		}
+		e.mu.Unlock()
+	}
 }
 
 // checkRun rejects results with non-finite energies before they are
@@ -359,16 +436,13 @@ func (e *Experiments) jobFor(sp runSpec) harness.Job[RunResult] {
 	}
 }
 
-// runSpecs executes the given configurations under the supervisor,
-// recording results and failures. Specs already resolved (cached or
-// failed) are skipped; failed keys are not retried again within this
-// process — the memo is what makes `-resume` re-execute only missing runs.
+// runSpecs executes the given configurations, recording results and
+// failures. Specs already resolved (cached or failed) are skipped; failed
+// keys are not retried again within this process — the memo is what makes
+// `-resume` re-execute only missing runs. Cells resolve down a ladder:
+// in-process memo, remote daemon (Remote), content-addressed store,
+// harness checkpoint, and finally simulation under the supervisor.
 func (e *Experiments) runSpecs(specs []runSpec) error {
-	sup, err := e.supervisor()
-	if err != nil {
-		return err
-	}
-
 	e.mu.Lock()
 	var pending []runSpec
 	seen := make(map[string]bool)
@@ -394,6 +468,20 @@ func (e *Experiments) runSpecs(specs []runSpec) error {
 	// planned cell; the harness outcome counters record completions.
 	obsCellsPlanned.Add(int64(len(pending)))
 
+	if e.Remote != nil {
+		return e.runSpecsRemote(pending)
+	}
+
+	sup, err := e.supervisor()
+	if err != nil {
+		return err
+	}
+	if e.Store != nil {
+		if pending = e.resolveFromStore(pending); len(pending) == 0 {
+			return nil
+		}
+	}
+
 	jobs := make([]harness.Job[RunResult], len(pending))
 	for i, sp := range pending {
 		jobs[i] = e.jobFor(sp)
@@ -407,6 +495,12 @@ func (e *Experiments) runSpecs(specs []runSpec) error {
 		r    RunResult
 	}
 	var seeds []seed
+	type done struct {
+		sp runSpec
+		r  RunResult
+	}
+	var completed []done
+	batchExecuted := 0
 	e.mu.Lock()
 	for i, res := range results {
 		sp := pending[i]
@@ -415,10 +509,12 @@ func (e *Experiments) runSpecs(specs []runSpec) error {
 			continue
 		}
 		e.runs[res.Key] = res.Value
+		completed = append(completed, done{sp, res.Value})
 		if res.FromCheckpoint {
 			e.resumed++
 		} else {
 			e.executed++
+			batchExecuted++
 			e.noteCostLocked(sp, res.Duration)
 		}
 		if sp.tech == leakctl.TechNone {
@@ -430,7 +526,92 @@ func (e *Experiments) runSpecs(specs []runSpec) error {
 	for _, sd := range seeds {
 		e.suite(sd.l2).SetBaseline(sd.name, sd.r)
 	}
+	// Persist every completed cell (simulated or checkpoint-restored) to
+	// the content-addressed store, then the refreshed cost model. Store
+	// trouble degrades to Err, never to lost results.
+	if e.Store != nil {
+		for _, d := range completed {
+			mc := e.suite(d.sp.l2).MC
+			id := cellIdentityFor(mc, d.sp.prof.Name, d.sp.tech, d.sp.interval)
+			h, err := store.CanonicalHash(id)
+			if err == nil {
+				err = e.Store.Put(h, id, d.r)
+			}
+			if err != nil {
+				e.mu.Lock()
+				if e.storeErr == nil {
+					e.storeErr = err
+				}
+				e.mu.Unlock()
+				break
+			}
+		}
+		if batchExecuted > 0 {
+			e.saveCostModel()
+		}
+	}
 	return nil
+}
+
+// resolveFromStore serves pending cells from the content-addressed store,
+// returning the cells that still need execution. A stored value that fails
+// to decode or validate is treated as a miss and re-executed (the store's
+// first-write-wins semantics mean it is never overwritten, but the
+// simulation result is still produced for the caller).
+func (e *Experiments) resolveFromStore(pending []runSpec) []runSpec {
+	type hit struct {
+		sp runSpec
+		r  RunResult
+	}
+	var hits []hit
+	remaining := pending[:0]
+	for _, sp := range pending {
+		mc := e.suite(sp.l2).MC
+		h, err := CellHash(mc, sp.prof.Name, sp.tech, sp.interval)
+		if err != nil {
+			remaining = append(remaining, sp)
+			continue
+		}
+		rec, ok, gerr := e.Store.Get(h)
+		if gerr != nil {
+			e.mu.Lock()
+			if e.storeErr == nil {
+				e.storeErr = gerr
+			}
+			e.mu.Unlock()
+		}
+		if !ok || gerr != nil {
+			obsStoreMisses.Add(1)
+			remaining = append(remaining, sp)
+			continue
+		}
+		var r RunResult
+		if err := json.Unmarshal(rec.Value, &r); err != nil || checkRun(r) != nil {
+			obsStoreMisses.Add(1)
+			remaining = append(remaining, sp)
+			continue
+		}
+		hits = append(hits, hit{sp, r})
+	}
+	if len(hits) == 0 {
+		return remaining
+	}
+	obsStoreHits.Add(uint64(len(hits)))
+	e.mu.Lock()
+	for _, ht := range hits {
+		e.runs[ht.sp.key()] = ht.r
+		e.storeHits++
+	}
+	e.mu.Unlock()
+	for _, ht := range hits {
+		if e.Events != nil {
+			e.Events.Write(obs.Record{Type: "store_hit", RunID: ht.sp.key()})
+		}
+		if ht.sp.tech == leakctl.TechNone {
+			e.suite(ht.sp.l2).SetBaseline(ht.sp.prof.Name, ht.r)
+		}
+	}
+	return remaining
 }
 
 // run returns the (cached) timing run for one configuration, executing it
@@ -532,8 +713,24 @@ func (e *Experiments) Resumed() int {
 	return e.resumed
 }
 
-// Err surfaces checkpoint trouble: a failed open (also returned by Init)
-// or any append failure during the suite.
+// StoreHits returns the number of runs served from the content-addressed
+// result store.
+func (e *Experiments) StoreHits() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.storeHits
+}
+
+// Remoted returns the number of runs delegated to a remote daemon.
+func (e *Experiments) Remoted() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.remoted
+}
+
+// Err surfaces checkpoint or store trouble: a failed open (also returned
+// by Init), any checkpoint append failure during the suite, or the first
+// result-store read/write failure (results themselves are unaffected).
 func (e *Experiments) Err() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -541,9 +738,11 @@ func (e *Experiments) Err() error {
 		return e.supErr
 	}
 	if e.ckpt != nil {
-		return e.ckpt.Err()
+		if err := e.ckpt.Err(); err != nil {
+			return err
+		}
 	}
-	return nil
+	return e.storeErr
 }
 
 // Close releases the checkpoint file (if one was opened) and the trace

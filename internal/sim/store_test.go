@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/store"
+	"hotleakage/internal/workload"
+)
+
+// storeExperiments builds a small store-backed experiment set.
+func storeExperiments(t *testing.T, st *store.Store) *Experiments {
+	t.Helper()
+	e := NewExperiments()
+	e.Instructions = 60_000
+	e.Warmup = 20_000
+	e.Profiles = workload.Profiles()[:2]
+	e.Parallel = false
+	e.Store = st
+	return e
+}
+
+// TestExperimentsStoreAcrossProcesses is the cross-process generalization
+// of the sweep cache: a second experiment set over the same store serves
+// every cell from disk with zero simulation, bit-identically; an
+// overlapping set simulates only the delta.
+func TestExperimentsStoreAcrossProcesses(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cells")
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cells := []CellSpec{
+		{Bench: "gzip", L2: 11, Technique: leakctl.TechNone, Interval: 0},
+		{Bench: "gzip", L2: 11, Technique: leakctl.TechDrowsy, Interval: 4096},
+		{Bench: "gzip", L2: 11, Technique: leakctl.TechGated, Interval: 4096},
+	}
+
+	e1 := storeExperiments(t, st)
+	cold, err := e1.RunCells(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range cold {
+		if o.Err != nil {
+			t.Fatalf("cold cell %s failed: %v", o.Key, o.Err)
+		}
+		if o.Hash == "" {
+			t.Fatalf("cold cell %s has no content address", o.Key)
+		}
+	}
+	if e1.Executed() != len(cells) || e1.StoreHits() != 0 {
+		t.Fatalf("cold run: executed=%d storeHits=%d, want %d/0",
+			e1.Executed(), e1.StoreHits(), len(cells))
+	}
+	if err := e1.Err(); err != nil {
+		t.Fatalf("cold run store error: %v", err)
+	}
+	e1.Close()
+
+	// The cost model must have been persisted for day-one LPT scheduling.
+	var costs map[string]float64
+	if ok, err := st.GetMeta("cost_model_ns_per_instr", &costs); err != nil || !ok {
+		t.Fatalf("cost model not persisted: ok=%v err=%v", ok, err)
+	}
+	for k, v := range costs {
+		if v <= 0 {
+			t.Errorf("cost model entry %s = %v, want > 0", k, v)
+		}
+	}
+	st.Close()
+
+	// "Restart the daemon": fresh store handle, fresh experiment set.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	e2 := storeExperiments(t, st2)
+	warm, err := e2.RunCells(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Executed() != 0 || e2.StoreHits() != len(cells) {
+		t.Fatalf("warm run: executed=%d storeHits=%d, want 0/%d",
+			e2.Executed(), e2.StoreHits(), len(cells))
+	}
+	for i := range cells {
+		if warm[i].Hash != cold[i].Hash {
+			t.Errorf("cell %s changed address across runs: %s vs %s",
+				cells[i].Key(), cold[i].Hash, warm[i].Hash)
+		}
+		if !reflect.DeepEqual(warm[i].Result, cold[i].Result) {
+			t.Errorf("cell %s not bit-identical across the store round-trip", cells[i].Key())
+		}
+	}
+	e2.Close()
+
+	// Overlapping sweep: one new cell simulates, the rest hit the store.
+	e3 := storeExperiments(t, st2)
+	overlap := append(append([]CellSpec(nil), cells...),
+		CellSpec{Bench: "gzip", L2: 11, Technique: leakctl.TechDrowsy, Interval: 8192})
+	outs, err := e3.RunCells(overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("overlap cell %s failed: %v", o.Key, o.Err)
+		}
+	}
+	if e3.Executed() != 1 || e3.StoreHits() != len(cells) {
+		t.Errorf("overlap run: executed=%d storeHits=%d, want 1/%d",
+			e3.Executed(), e3.StoreHits(), len(cells))
+	}
+	e3.Close()
+}
+
+// TestCellHashSensitivity: the content address must move when anything
+// that defines the cell moves — and must not depend on the budget-free
+// parts of two identical configurations being the same allocation.
+func TestCellHashSensitivity(t *testing.T) {
+	mc := DefaultMachine(11)
+	mc.Instructions = 60_000
+	mc.Warmup = 20_000
+	base, err := CellHash(mc, "gzip", leakctl.TechDrowsy, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := CellHash(mc, "gzip", leakctl.TechDrowsy, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != same {
+		t.Error("identical cells hash differently")
+	}
+	mc2 := DefaultMachine(11)
+	mc2.Instructions = 60_000
+	mc2.Warmup = 20_000
+	if h, _ := CellHash(mc2, "gzip", leakctl.TechDrowsy, 4096); h != base {
+		t.Error("separately built identical machine hashes differently")
+	}
+
+	for name, variant := range map[string]func() (string, error){
+		"bench":     func() (string, error) { return CellHash(mc, "gcc", leakctl.TechDrowsy, 4096) },
+		"technique": func() (string, error) { return CellHash(mc, "gzip", leakctl.TechGated, 4096) },
+		"interval":  func() (string, error) { return CellHash(mc, "gzip", leakctl.TechDrowsy, 8192) },
+		"l2": func() (string, error) {
+			m := DefaultMachine(17)
+			m.Instructions, m.Warmup = 60_000, 20_000
+			return CellHash(m, "gzip", leakctl.TechDrowsy, 4096)
+		},
+		"budget": func() (string, error) {
+			m := mc
+			m.Instructions = 120_000
+			return CellHash(m, "gzip", leakctl.TechDrowsy, 4096)
+		},
+	} {
+		h, err := variant()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h == base {
+			t.Errorf("changing %s did not change the cell hash", name)
+		}
+	}
+}

@@ -1,0 +1,443 @@
+// Package store is the daemon's content-addressed result store. Each
+// simulation cell — machine config, technique, decay interval, benchmark,
+// instruction budget and checkpoint version — is canonically serialized
+// and hashed; the hash addresses the cell's result forever, so a repeated
+// or overlapping sweep is served from disk instead of re-simulated. This
+// generalizes the sweep-level trace cache and the harness checkpoint from
+// "within one process" to "across every request the daemon ever served".
+//
+// # On-disk layout
+//
+//	<dir>/seg-000001.jsonl   result segments: {"h":..,"k":..,"v":..} lines
+//	<dir>/seg-000002.jsonl   (appended; rotated at SegmentMaxBytes)
+//	<dir>/meta.jsonl         meta segment: {"m":..,"v":..} lines, last wins
+//
+// Segments are append-only JSON lines, synced per record like the harness
+// checkpoint, so a crash loses at most the record being written. Open
+// rebuilds the in-memory index by scanning the segments; a torn tail on
+// the last segment is truncated away, and a corrupt region inside an older
+// segment skips the remainder of that segment only (the index keeps every
+// record before the damage, and later segments are unaffected).
+//
+// Values are not held in memory: the index maps hash -> (segment, offset,
+// length) and Get reads the record back with one pread, so the store's
+// resident size is bounded by the index, not the corpus.
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CanonicalHash hashes v's canonical JSON form: the value is marshalled,
+// decoded into generic maps and re-encoded (Go sorts map keys), so two
+// representations that differ only in field order — a reordered struct
+// declaration, a hand-written request document — hash identically. The
+// hash is hex SHA-256.
+func CanonicalHash(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("store: marshal for hash: %w", err)
+	}
+	canon, err := Canonicalize(b)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Canonicalize re-encodes a JSON document with object keys sorted at every
+// level, the byte form CanonicalHash digests.
+func Canonicalize(doc []byte) ([]byte, error) {
+	var v any
+	if err := json.Unmarshal(doc, &v); err != nil {
+		return nil, fmt.Errorf("store: canonicalize: %w", err)
+	}
+	canon, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("store: canonicalize: %w", err)
+	}
+	return canon, nil
+}
+
+// segRecord is the on-disk framing of one result line.
+type segRecord struct {
+	Hash  string          `json:"h"`
+	Key   json.RawMessage `json:"k,omitempty"`
+	Value json.RawMessage `json:"v"`
+}
+
+// metaRecord is the on-disk framing of one meta-segment line.
+type metaRecord struct {
+	Name  string          `json:"m"`
+	Value json.RawMessage `json:"v"`
+}
+
+// Record is one stored result: the cell's canonical key document and its
+// value, both raw JSON exactly as first persisted (content addressing
+// means the bytes for a hash never change).
+type Record struct {
+	Hash  string          `json:"hash"`
+	Key   json.RawMessage `json:"key,omitempty"`
+	Value json.RawMessage `json:"value"`
+}
+
+// loc addresses one record inside a segment file.
+type loc struct {
+	seg    int // index into Store.segs
+	offset int64
+	length int64
+}
+
+// segment is one open result file.
+type segment struct {
+	path string
+	f    *os.File
+	size int64
+}
+
+// Store is the content-addressed result store. Safe for concurrent use.
+type Store struct {
+	dir string
+
+	// SegmentMaxBytes rotates the append segment once it grows past this
+	// size (default 64 MiB). Mutate only before concurrent use.
+	SegmentMaxBytes int64
+
+	mu      sync.Mutex
+	segs    []*segment
+	index   map[string]loc
+	meta    map[string]json.RawMessage
+	metaF   *os.File
+	skipped int // records lost to corruption at open time
+	closed  bool
+}
+
+// DefaultSegmentMaxBytes is the rotation threshold for result segments.
+const DefaultSegmentMaxBytes = 64 << 20
+
+// Open opens (creating if necessary) the store rooted at dir and rebuilds
+// the index from its segments.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:             dir,
+		SegmentMaxBytes: DefaultSegmentMaxBytes,
+		index:           make(map[string]loc),
+		meta:            make(map[string]json.RawMessage),
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(names) // zero-padded sequence numbers sort chronologically
+	for i, name := range names {
+		if err := s.openSegment(name, i == len(names)-1); err != nil {
+			s.closeAll()
+			return nil, err
+		}
+	}
+	if len(s.segs) == 0 {
+		if err := s.rotateLocked(); err != nil {
+			s.closeAll()
+			return nil, err
+		}
+	}
+	if err := s.loadMeta(); err != nil {
+		s.closeAll()
+		return nil, err
+	}
+	return s, nil
+}
+
+// openSegment scans one segment into the index. last marks the final
+// (append) segment: a torn tail there is truncated so later appends start
+// on a clean line boundary; corruption in an older, sealed segment only
+// skips that segment's remainder.
+func (s *Store) openSegment(path string, last bool) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	segIdx := len(s.segs)
+	var good int64 // offset just past the last well-formed record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec segRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Hash == "" || rec.Value == nil {
+			// Unparseable or incomplete record: everything from here to
+			// the end of this segment is untrusted.
+			break
+		}
+		if _, dup := s.index[rec.Hash]; !dup {
+			s.index[rec.Hash] = loc{seg: segIdx, offset: good, length: int64(len(line))}
+		}
+		good += int64(len(line)) + 1 // newline
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		f.Close()
+		return fmt.Errorf("store: scan %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	size := st.Size()
+	if good < size {
+		s.skipped++
+		size = good
+		if last {
+			// Drop the torn tail so the next append starts a valid line.
+			if err := f.Truncate(good); err != nil {
+				f.Close()
+				return fmt.Errorf("store: truncate torn tail of %s: %w", path, err)
+			}
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segs = append(s.segs, &segment{path: path, f: f, size: size})
+	return nil
+}
+
+// loadMeta replays the meta segment (last record per name wins; a torn
+// tail is dropped) and leaves the file open for appends.
+func (s *Store) loadMeta() error {
+	path := filepath.Join(s.dir, "meta.jsonl")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var offset, good int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec metaRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Name == "" {
+			break
+		}
+		s.meta[rec.Name] = append(json.RawMessage(nil), rec.Value...)
+		offset += int64(len(line)) + 1
+		good = offset
+	}
+	if st, err := f.Stat(); err == nil && good < st.Size() {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return fmt.Errorf("store: truncate meta tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.metaF = f
+	return nil
+}
+
+// rotateLocked opens a fresh append segment. Caller holds s.mu (or has
+// exclusive access during Open).
+func (s *Store) rotateLocked() error {
+	path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.jsonl", len(s.segs)+1))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segs = append(s.segs, &segment{path: path, f: f})
+	return nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of indexed cells.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Skipped returns how many records were lost to corruption at open time.
+func (s *Store) Skipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
+}
+
+// Has reports whether hash is stored.
+func (s *Store) Has(hash string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[hash]
+	return ok
+}
+
+// Get returns the stored record for hash.
+func (s *Store) Get(hash string) (Record, bool, error) {
+	s.mu.Lock()
+	l, ok := s.index[hash]
+	if !ok || s.closed {
+		s.mu.Unlock()
+		return Record{}, false, nil
+	}
+	f := s.segs[l.seg].f
+	s.mu.Unlock()
+
+	buf := make([]byte, l.length)
+	if _, err := f.ReadAt(buf, l.offset); err != nil {
+		return Record{}, false, fmt.Errorf("store: read %s: %w", hash, err)
+	}
+	var rec segRecord
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return Record{}, false, fmt.Errorf("store: decode %s: %w", hash, err)
+	}
+	return Record{Hash: rec.Hash, Key: rec.Key, Value: rec.Value}, true, nil
+}
+
+// Put persists a record under hash. key (may be nil) is the canonical
+// cell-identity document, stored alongside the value for auditability. A
+// hash already present is left untouched — content addressing makes the
+// first write authoritative — and Put reports nil.
+func (s *Store) Put(hash string, key, value any) error {
+	if hash == "" {
+		return fmt.Errorf("store: empty hash")
+	}
+	var kb json.RawMessage
+	if key != nil {
+		b, err := json.Marshal(key)
+		if err != nil {
+			return fmt.Errorf("store: marshal key for %s: %w", hash, err)
+		}
+		kb = b
+	}
+	vb, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("store: marshal value for %s: %w", hash, err)
+	}
+	line, err := json.Marshal(segRecord{Hash: hash, Key: kb, Value: vb})
+	if err != nil {
+		return fmt.Errorf("store: frame %s: %w", hash, err)
+	}
+	line = append(line, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, dup := s.index[hash]; dup {
+		return nil
+	}
+	seg := s.segs[len(s.segs)-1]
+	if seg.size > 0 && seg.size+int64(len(line)) > s.SegmentMaxBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+		seg = s.segs[len(s.segs)-1]
+	}
+	if _, err := seg.f.Write(line); err != nil {
+		return fmt.Errorf("store: append %s: %w", hash, err)
+	}
+	if err := seg.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", hash, err)
+	}
+	s.index[hash] = loc{seg: len(s.segs) - 1, offset: seg.size, length: int64(len(line)) - 1}
+	seg.size += int64(len(line))
+	return nil
+}
+
+// PutMeta stores a named non-cell document (e.g. the harness cost model)
+// in the meta segment. Later writes under the same name win on reload.
+func (s *Store) PutMeta(name string, v any) error {
+	if name == "" || strings.ContainsRune(name, '\n') {
+		return fmt.Errorf("store: bad meta name %q", name)
+	}
+	vb, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: marshal meta %s: %w", name, err)
+	}
+	line, err := json.Marshal(metaRecord{Name: name, Value: vb})
+	if err != nil {
+		return fmt.Errorf("store: frame meta %s: %w", name, err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, err := s.metaF.Write(line); err != nil {
+		return fmt.Errorf("store: append meta %s: %w", name, err)
+	}
+	if err := s.metaF.Sync(); err != nil {
+		return fmt.Errorf("store: sync meta %s: %w", name, err)
+	}
+	s.meta[name] = vb
+	return nil
+}
+
+// GetMeta decodes the named meta document into v, reporting whether it
+// exists.
+func (s *Store) GetMeta(name string, v any) (bool, error) {
+	s.mu.Lock()
+	raw, ok := s.meta[name]
+	s.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return false, fmt.Errorf("store: decode meta %s: %w", name, err)
+	}
+	return true, nil
+}
+
+// closeAll closes every open file without locking (Open-failure path).
+func (s *Store) closeAll() {
+	for _, seg := range s.segs {
+		if seg.f != nil {
+			seg.f.Close()
+		}
+	}
+	if s.metaF != nil {
+		s.metaF.Close()
+	}
+}
+
+// Close closes the backing files. Further reads and writes fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.metaF != nil {
+		if err := s.metaF.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
