@@ -6,7 +6,7 @@ GO ?= go
 #   make bench BASELINE_INSTR_S=...
 BASELINE_INSTR_S ?= 1990000
 
-.PHONY: build test verify smoke-daemon bench bench-throughput bench-sweep bench-all clean
+.PHONY: build test verify smoke-daemon chaos bench bench-throughput bench-sweep bench-all clean
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ verify: build
 # HTTP, require the warm resubmit to be 100% store hits, SIGTERM-drain.
 smoke-daemon:
 	./scripts/daemon_smoke.sh
+
+# Chaos tier: fault-injected store/server suites under the race detector,
+# then the black-box chaos smoke (real leakd under an armed fault plane,
+# kill -9 mid-sweep, restart-recovery, GC reclamation, bit-identical
+# results vs a fault-free reference). See DESIGN.md §11.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestFault|TestGC|TestQuarantine|TestHub|TestSSE|TestPanic|TestSweepWatchdog|TestDegraded|TestHealthz|TestBreaker|TestRetry' ./internal/store/ ./internal/server/... ./internal/harness/faultinject/
+	./scripts/chaos_smoke.sh
 
 bench: bench-throughput bench-sweep
 

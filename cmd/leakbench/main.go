@@ -61,6 +61,7 @@ func run() int {
 		maxRetries = flag.Int("max-retries", 2, "re-executions of a transiently failed run")
 		faultSpec  = flag.String("faultinject", "", "inject faults for testing, e.g. panic:1/8[:seed=N][:sticky]")
 		remote     = flag.String("remote", "", "delegate simulation to a leakd daemon at this address (host:port or URL); evaluation and rendering stay local")
+		remoteFB   = flag.Bool("remote-fallback", true, "degrade to local simulation when the -remote daemon is unreachable (circuit breaker + retries exhausted)")
 		telemetry  = flag.String("telemetry", "", "append JSONL telemetry (periodic snapshots + run trace events) to this file")
 		telemIv    = flag.Duration("telemetry-interval", 2*time.Second, "snapshot period for -telemetry / -progress")
 		metrics    = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/vars on this address, e.g. :9090")
@@ -111,6 +112,7 @@ func run() int {
 		// its own store, checkpoints and retry policy); the local flags
 		// governing execution no longer apply.
 		e.Remote = api.NewClient(*remote)
+		e.RemoteFallback = *remoteFB
 		fmt.Fprintf(os.Stderr, "remote: delegating simulation to %s\n", *remote)
 	}
 

@@ -9,7 +9,15 @@
 //
 //	leakd -store /var/lib/leakd [-addr :8080] [-workers N] [-telemetry FILE]
 //
-// See EXPERIMENTS.md for the API reference and a curl walkthrough.
+// The store is garbage-collected in the background when a policy is set:
+// -store-ttl expires records by age, -store-max-bytes bounds the store by
+// evicting oldest-first, and -gc-interval paces the passes. GC is crash-safe
+// (write-new, fsync, atomic rename) and at-least-once: a crash mid-pass
+// never loses a live record, at worst it resurrects expired ones until the
+// next pass.
+//
+// See EXPERIMENTS.md for the API reference and a curl walkthrough, and
+// DESIGN.md §11 for the failure model behind -faultplane and -sweep-timeout.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"hotleakage/internal/harness/faultinject"
 	"hotleakage/internal/obs"
 	"hotleakage/internal/server"
 	"hotleakage/internal/store"
@@ -47,6 +56,11 @@ func run() error {
 		warmup       = flag.Uint64("warmup", 300_000, "default warmup instructions per cell")
 		runTimeout   = flag.Duration("run-timeout", 0, "per-cell deadline (0 = none)")
 		maxRetries   = flag.Int("max-retries", 2, "per-cell retry budget")
+		sweepTimeout = flag.Duration("sweep-timeout", 0, "watchdog: whole-sweep deadline, canceled and failed past it (0 = none)")
+		storeTTL     = flag.Duration("store-ttl", 0, "GC: expire store records older than this (0 = keep forever)")
+		storeMaxB    = flag.Int64("store-max-bytes", 0, "GC: evict oldest records beyond this store size (0 = unbounded)")
+		gcInterval   = flag.Duration("gc-interval", 10*time.Minute, "pace of background GC passes (needs -store-ttl or -store-max-bytes)")
+		faultSpec    = flag.String("faultplane", "", "inject faults for chaos testing, e.g. store.sync:err:1/50,server.handler:5xx:1/100 (see DESIGN.md §11)")
 		drainWait    = flag.Duration("drain", 30*time.Second, "max graceful drain on SIGTERM")
 		telemetry    = flag.String("telemetry", "", "append JSONL trace events to this file")
 	)
@@ -56,7 +70,22 @@ func run() error {
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	st, err := store.Open(*storeDir)
+
+	var plane *faultinject.Plane
+	if *faultSpec != "" {
+		var err error
+		plane, err = faultinject.ParsePlane(*faultSpec)
+		if err != nil {
+			return err
+		}
+		logger.Printf("leakd: CHAOS MODE, fault plane %q armed", plane)
+	}
+
+	sopts := store.Options{Logf: logger.Printf}
+	if plane != nil {
+		sopts.FS = &store.FaultFS{Plane: plane, Base: store.OSFS{}}
+	}
+	st, err := store.OpenOptions(*storeDir, sopts)
 	if err != nil {
 		return err
 	}
@@ -75,6 +104,8 @@ func run() error {
 		DefaultWarmup:       *warmup,
 		RunTimeout:          *runTimeout,
 		MaxRetries:          *maxRetries,
+		SweepTimeout:        *sweepTimeout,
+		Plane:               plane,
 		Log:                 logger,
 	}
 	if *telemetry != "" {
@@ -88,6 +119,36 @@ func run() error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+
+	// Background GC: pace-limited passes under the configured policy. The
+	// loop stops with the daemon; a pass racing the drain is safe (GC and
+	// reads/writes share the store lock).
+	gcPolicy := store.GCPolicy{TTL: *storeTTL, MaxBytes: *storeMaxB}
+	gcStop := make(chan struct{})
+	if gcPolicy.Enabled() {
+		if *gcInterval <= 0 {
+			return fmt.Errorf("-gc-interval must be positive when GC is enabled")
+		}
+		go func() {
+			tick := time.NewTicker(*gcInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-gcStop:
+					return
+				case <-tick.C:
+					stats, err := st.GC(gcPolicy)
+					if err != nil {
+						logger.Printf("leakd: store GC: %v", err)
+					} else if stats.Dropped > 0 {
+						logger.Printf("leakd: store GC dropped %d record(s), reclaimed %d bytes (%d live)",
+							stats.Dropped, stats.ReclaimedBytes, stats.Live)
+					}
+				}
+			}
+		}()
+		logger.Printf("leakd: store GC every %s (ttl=%s, max-bytes=%d)", *gcInterval, *storeTTL, *storeMaxB)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -105,6 +166,7 @@ func run() error {
 	stopSignals()
 
 	logger.Printf("leakd: draining (max %s)", *drainWait)
+	close(gcStop)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {

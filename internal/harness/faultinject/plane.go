@@ -1,0 +1,319 @@
+package faultinject
+
+// The fault plane generalizes the run-level Injector to arbitrary
+// operation sites across the repo: the store's file I/O, the API client's
+// HTTP transport, and the server's request handling all consult one Plane
+// before every injectable operation. Like the run-level injector it is
+// deterministic and seeded — a rule fires on a fixed subset of a site's
+// operation sequence — so a chaos test that passes passes every time, and
+// a failure replays under the same spec.
+//
+// A plane is configured by a comma-separated spec, one rule per site:
+//
+//	store.sync:err:1/5:seed=3,http.request:reset:1/4,server.handler:panic:1/8
+//
+// Each rule is site:kind:1/N[:seed=S][:delay=D]. Kinds: err (EIO-style
+// operation failure), short (torn write: a prefix persists, then the write
+// fails), reset (connection reset), 5xx (synthesized 502), slow (latency
+// spike of delay D, default 50ms), panic.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hotleakage/internal/obs"
+)
+
+// Canonical fault-plane sites. The store and server route their injectable
+// operations through these names; tests may use arbitrary ones.
+const (
+	SiteStoreOpen     = "store.open"
+	SiteStoreRead     = "store.read"
+	SiteStoreWrite    = "store.write"
+	SiteStoreSync     = "store.sync"
+	SiteStoreRename   = "store.rename"
+	SiteStoreRemove   = "store.remove"
+	SiteStoreTruncate = "store.truncate"
+	SiteHTTPRequest   = "http.request"
+	SiteServerHandler = "server.handler"
+)
+
+// OpFault is the kind of failure injected into one operation.
+type OpFault int
+
+// Operation fault kinds.
+const (
+	OpNone OpFault = iota
+	// OpErr fails the operation with ErrInjected (EIO-style).
+	OpErr
+	// OpShort is a torn write: a prefix of the buffer persists, then the
+	// write reports ErrInjected. Only write sites honour it; elsewhere it
+	// behaves like OpErr.
+	OpShort
+	// OpReset fails an HTTP round trip like a connection reset.
+	OpReset
+	// Op5xx synthesizes an HTTP 502 response.
+	Op5xx
+	// OpSlow delays the operation (latency spike), then lets it proceed.
+	OpSlow
+	// OpPanic panics at the site (the server's per-request isolation is
+	// what keeps this from killing the daemon).
+	OpPanic
+)
+
+// String implements fmt.Stringer.
+func (f OpFault) String() string {
+	switch f {
+	case OpNone:
+		return "none"
+	case OpErr:
+		return "err"
+	case OpShort:
+		return "short"
+	case OpReset:
+		return "reset"
+	case Op5xx:
+		return "5xx"
+	case OpSlow:
+		return "slow"
+	case OpPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("opfault(%d)", int(f))
+}
+
+// ErrInjected is the root of every plane-injected failure; callers that
+// need to distinguish chaos from real faults can errors.Is against it.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// injectedError carries the site for log lines while unwrapping to
+// ErrInjected.
+type injectedError struct {
+	site string
+	kind OpFault
+}
+
+func (e *injectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at %s", e.kind, e.site)
+}
+
+func (e *injectedError) Unwrap() error { return ErrInjected }
+
+// Decision is the plane's verdict for one operation.
+type Decision struct {
+	Fault OpFault
+	// Delay is the latency to impose for OpSlow.
+	Delay time.Duration
+}
+
+// Err renders the decision as an error for sites that fail operations
+// (OpErr, OpShort, OpReset); nil for other faults.
+func (d Decision) Err(site string) error {
+	switch d.Fault {
+	case OpErr, OpShort, OpReset:
+		return &injectedError{site: site, kind: d.Fault}
+	}
+	return nil
+}
+
+// planeRule is one parsed site schedule.
+type planeRule struct {
+	site  string
+	fault OpFault
+	n     uint64
+	seed  uint64
+	delay time.Duration
+}
+
+// obsInjected counts operations the plane actually faulted, by any rule.
+var obsInjected = obs.Default.Counter(obs.MetricFaultplaneInjected)
+
+// Plane decides faults per operation site. Each site keeps an operation
+// counter; a rule fires when hash(site, count, seed) falls in its 1/N
+// bucket, so a fixed fraction of a site's operations fault, on a schedule
+// that is reproducible for a given call order. Safe for concurrent use.
+// A nil *Plane injects nothing.
+type Plane struct {
+	mu     sync.Mutex
+	rules  map[string]planeRule
+	counts map[string]uint64
+}
+
+// NewPlane builds an empty plane; add schedules with Rule.
+func NewPlane() *Plane {
+	return &Plane{rules: make(map[string]planeRule), counts: make(map[string]uint64)}
+}
+
+// Rule installs (replacing any previous rule for site) a schedule that
+// faults roughly 1 of every n operations at site. delay is only meaningful
+// for OpSlow (0 means the 50ms default).
+func (p *Plane) Rule(site string, fault OpFault, n, seed uint64, delay time.Duration) *Plane {
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	p.mu.Lock()
+	p.rules[site] = planeRule{site: site, fault: fault, n: n, seed: seed, delay: delay}
+	p.mu.Unlock()
+	return p
+}
+
+// Decide advances site's operation counter and returns the verdict for
+// this operation.
+func (p *Plane) Decide(site string) Decision {
+	if p == nil {
+		return Decision{}
+	}
+	p.mu.Lock()
+	n := p.counts[site]
+	p.counts[site] = n + 1
+	r, ok := p.rules[site]
+	p.mu.Unlock()
+	if !ok || r.n == 0 || r.fault == OpNone {
+		return Decision{}
+	}
+	if hash(fmt.Sprintf("%s#%d", site, n), r.seed)%r.n != 0 {
+		return Decision{}
+	}
+	obsInjected.Add(1)
+	return Decision{Fault: r.fault, Delay: r.delay}
+}
+
+// String renders the plane's canonical spec (the inverse of ParsePlane),
+// rules sorted by site. An empty or nil plane renders as "".
+func (p *Plane) String() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	rules := make([]planeRule, 0, len(p.rules))
+	for _, r := range p.rules {
+		rules = append(rules, r)
+	}
+	p.mu.Unlock()
+	sort.Slice(rules, func(i, j int) bool { return rules[i].site < rules[j].site })
+	parts := make([]string, 0, len(rules))
+	for _, r := range rules {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s:%s:1/%d", r.site, r.fault, r.n)
+		if r.seed != 0 {
+			fmt.Fprintf(&b, ":seed=%d", r.seed)
+		}
+		if r.fault == OpSlow && r.delay != 50*time.Millisecond {
+			fmt.Fprintf(&b, ":delay=%s", r.delay)
+		}
+		parts = append(parts, b.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlane builds a plane from a comma-separated rule list; see the
+// package comment for the grammar. An empty spec yields an empty plane.
+func ParsePlane(spec string) (*Plane, error) {
+	p := NewPlane()
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, rs := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(rs), ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("faultinject: rule %q: want site:kind:1/N[:seed=S][:delay=D]", rs)
+		}
+		site := parts[0]
+		if site == "" {
+			return nil, fmt.Errorf("faultinject: rule %q has an empty site", rs)
+		}
+		var fault OpFault
+		switch parts[1] {
+		case "err":
+			fault = OpErr
+		case "short":
+			fault = OpShort
+		case "reset":
+			fault = OpReset
+		case "5xx":
+			fault = Op5xx
+		case "slow":
+			fault = OpSlow
+		case "panic":
+			fault = OpPanic
+		default:
+			return nil, fmt.Errorf("faultinject: rule %q: unknown kind %q (have err, short, reset, 5xx, slow, panic)", rs, parts[1])
+		}
+		num, den, ok := strings.Cut(parts[2], "/")
+		if !ok || num != "1" {
+			return nil, fmt.Errorf("faultinject: rule %q: rate %q: want 1/N", rs, parts[2])
+		}
+		n, err := strconv.ParseUint(den, 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("faultinject: rule %q: rate %q: want 1/N with N >= 1", rs, parts[2])
+		}
+		var seed uint64
+		var delay time.Duration
+		for _, opt := range parts[3:] {
+			switch {
+			case strings.HasPrefix(opt, "seed="):
+				seed, err = strconv.ParseUint(strings.TrimPrefix(opt, "seed="), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: rule %q: bad seed %q", rs, opt)
+				}
+			case strings.HasPrefix(opt, "delay="):
+				delay, err = time.ParseDuration(strings.TrimPrefix(opt, "delay="))
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: rule %q: bad delay %q", rs, opt)
+				}
+			default:
+				return nil, fmt.Errorf("faultinject: rule %q: unknown option %q", rs, opt)
+			}
+		}
+		p.Rule(site, fault, n, seed, delay)
+	}
+	return p, nil
+}
+
+// Transport is an http.RoundTripper that injects transport-level faults
+// from the plane's SiteHTTPRequest schedule: connection resets, synthetic
+// 502s and latency spikes. It wraps Base (http.DefaultTransport when nil)
+// and is how chaos tests make a healthy daemon look sick to its clients.
+type Transport struct {
+	Plane *Plane
+	Base  http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	d := t.Plane.Decide(SiteHTTPRequest)
+	switch d.Fault {
+	case OpReset, OpErr, OpShort:
+		return nil, &injectedError{site: SiteHTTPRequest, kind: OpReset}
+	case Op5xx:
+		return &http.Response{
+			Status:     "502 Bad Gateway (injected)",
+			StatusCode: http.StatusBadGateway,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       http.NoBody,
+			Request:    req,
+		}, nil
+	case OpSlow:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d.Delay):
+		}
+	case OpPanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s %s", SiteHTTPRequest, req.URL.Path))
+	}
+	return base.RoundTrip(req)
+}

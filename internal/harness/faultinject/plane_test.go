@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestPlaneDeterminism: the same spec over the same operation sequence
+// must fault the same operations, and roughly 1/N of them.
+func TestPlaneDeterminism(t *testing.T) {
+	decide := func() []int {
+		p, err := ParsePlane("store.sync:err:1/4:seed=7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var faulted []int
+		for i := 0; i < 400; i++ {
+			if p.Decide("store.sync").Fault != OpNone {
+				faulted = append(faulted, i)
+			}
+		}
+		return faulted
+	}
+	a, b := decide(), decide()
+	if len(a) == 0 {
+		t.Fatal("1/4 schedule never fired in 400 ops")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("two identical planes faulted %d vs %d ops", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault schedules diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Density sanity: 1/4 of 400 ± generous slack.
+	if len(a) < 50 || len(a) > 150 {
+		t.Errorf("1/4 schedule faulted %d of 400 ops", len(a))
+	}
+}
+
+// TestPlaneSiteIsolation: a rule for one site must not fire at another,
+// and a nil plane injects nothing.
+func TestPlaneSiteIsolation(t *testing.T) {
+	p, err := ParsePlane("store.sync:err:1/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.Decide("store.write"); d.Fault != OpNone {
+		t.Errorf("rule for store.sync fired at store.write: %v", d.Fault)
+	}
+	if d := p.Decide("store.sync"); d.Fault != OpErr {
+		t.Errorf("1/1 rule did not fire: %v", d.Fault)
+	}
+	if err := (Decision{Fault: OpErr}).Err("store.sync"); !errors.Is(err, ErrInjected) {
+		t.Errorf("injected error does not unwrap to ErrInjected: %v", err)
+	}
+
+	var nilPlane *Plane
+	if d := nilPlane.Decide("anything"); d.Fault != OpNone {
+		t.Errorf("nil plane injected %v", d.Fault)
+	}
+}
+
+// TestParsePlaneRoundTrip: String is the inverse of ParsePlane, and bad
+// specs are rejected with errors naming the offending rule.
+func TestParsePlaneRoundTrip(t *testing.T) {
+	spec := "http.request:reset:1/4,server.handler:panic:1/8:seed=2,store.sync:err:1/5:seed=3"
+	p, err := ParsePlane(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != spec {
+		t.Errorf("round trip: %q -> %q", spec, got)
+	}
+	if p2, err := ParsePlane(""); err != nil || p2.String() != "" {
+		t.Errorf("empty spec: %v, %q", err, p2.String())
+	}
+	for _, bad := range []string{
+		"store.sync",                  // no kind/rate
+		"store.sync:err",              // no rate
+		"store.sync:quantum:1/4",      // unknown kind
+		"store.sync:err:2/4",          // numerator must be 1
+		"store.sync:err:1/0",          // zero denominator
+		"store.sync:err:1/4:wat",      // unknown option
+		":err:1/4",                    // empty site
+		"store.sync:slow:1/4:delay=x", // bad delay
+	} {
+		if _, err := ParsePlane(bad); err == nil {
+			t.Errorf("ParsePlane(%q) accepted", bad)
+		}
+	}
+}
+
+// TestTransportFaults drives the fault-injecting RoundTripper: resets
+// surface as transport errors, 5xx as synthesized responses, slow as a
+// delay, and a rule-free plane passes through.
+func TestTransportFaults(t *testing.T) {
+	hts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer hts.Close()
+
+	get := func(tr *Transport) (*http.Response, error) {
+		cl := &http.Client{Transport: tr}
+		resp, err := cl.Get(hts.URL)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return resp, err
+	}
+
+	p := NewPlane().Rule(SiteHTTPRequest, OpReset, 1, 0, 0)
+	if _, err := get(&Transport{Plane: p}); err == nil || !errors.Is(err, ErrInjected) {
+		t.Errorf("reset rule produced %v, want ErrInjected", err)
+	}
+
+	p = NewPlane().Rule(SiteHTTPRequest, Op5xx, 1, 0, 0)
+	resp, err := get(&Transport{Plane: p})
+	if err != nil || resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("5xx rule produced %v, %v", resp, err)
+	}
+
+	p = NewPlane().Rule(SiteHTTPRequest, OpSlow, 1, 0, 20*time.Millisecond)
+	start := time.Now()
+	if resp, err := get(&Transport{Plane: p}); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("slow rule produced %v, %v", resp, err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("slow rule delayed only %v", d)
+	}
+
+	if resp, err := get(&Transport{Plane: nil}); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("nil plane transport produced %v, %v", resp, err)
+	}
+}

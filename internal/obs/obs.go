@@ -311,6 +311,26 @@ const (
 	MetricSweepsAccepted  = "server_sweeps_accepted_total"
 	MetricSweepsRejected  = "server_sweeps_rejected_total"
 	MetricSweepsCompleted = "server_sweeps_completed_total"
+	// Robustness metrics: operations the fault plane actually faulted
+	// (internal/harness/faultinject); records quarantined by the store's
+	// corruption recovery and bytes reclaimed / records dropped by its
+	// GC (internal/store); API-client retries and circuit-breaker state
+	// transitions (internal/server/api); remote batches the resolution
+	// ladder degraded to local simulation (internal/sim); and the
+	// server's recovered handler panics, watchdog-killed sweeps, and
+	// sweeps completed despite store/checkpoint trouble (internal/server).
+	MetricFaultplaneInjected  = "faultplane_injected_total"
+	MetricStoreQuarantined    = "store_quarantined_total"
+	MetricStoreGCRuns         = "store_gc_runs_total"
+	MetricStoreGCDropped      = "store_gc_dropped_total"
+	MetricStoreGCReclaimedB   = "store_gc_reclaimed_bytes_total"
+	MetricAPIRetries          = "api_retries_total"
+	MetricAPIBreakerOpens     = "api_breaker_opens_total"
+	MetricAPIBreakerFastFails = "api_breaker_fastfails_total"
+	MetricRemoteDegraded      = "sim_remote_degraded_total"
+	MetricServerPanics        = "server_handler_panics_total"
+	MetricWatchdogTimeouts    = "server_watchdog_timeouts_total"
+	MetricSweepsDegraded      = "server_sweeps_degraded_total"
 )
 
 // Delta returns cur-prev saturating at cur when a counter source was reset

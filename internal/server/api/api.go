@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -118,8 +119,12 @@ type SweepStatus struct {
 	Resumed   int `json:"resumed"`
 	Failed    int `json:"failed"`
 
-	Error string       `json:"error,omitempty"`
-	Cells []CellStatus `json:"cells,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Degraded is non-empty when the sweep completed but its
+	// infrastructure limped (store writes failing): every result was
+	// produced and returned, but not all were persisted for reuse.
+	Degraded string       `json:"degraded,omitempty"`
+	Cells    []CellStatus `json:"cells,omitempty"`
 }
 
 // CellRecord is the GET /v1/cells/{hash} body: the canonical identity
@@ -130,13 +135,17 @@ type CellRecord struct {
 	Value json.RawMessage `json:"value"`
 }
 
-// Health is the GET /healthz body.
+// Health is the GET /healthz body. Status is tri-state: "ok", "degraded"
+// (serving with Reasons explaining the limp; still HTTP 200) or
+// "draining" (shutting down; HTTP 503).
 type Health struct {
-	Status         string `json:"status"`
-	Draining       bool   `json:"draining"`
-	QueueDepth     int    `json:"queue_depth"`
-	SweepsInFlight int    `json:"sweeps_inflight"`
-	StoreCells     int    `json:"store_cells"`
+	Status           string   `json:"status"`
+	Draining         bool     `json:"draining"`
+	Reasons          []string `json:"reasons,omitempty"`
+	QueueDepth       int      `json:"queue_depth"`
+	SweepsInFlight   int      `json:"sweeps_inflight"`
+	StoreCells       int      `json:"store_cells"`
+	StoreQuarantined int      `json:"store_quarantined,omitempty"`
 }
 
 // ErrorBody is the JSON error envelope on non-2xx responses.
@@ -149,14 +158,22 @@ type Client struct {
 	Base         string
 	HTTP         *http.Client
 	PollInterval time.Duration
+
+	// Retry shapes transient-failure retries (zero value = defaults; see
+	// RetryPolicy).
+	Retry RetryPolicy
+	// Breaker, when non-nil, fast-fails calls while the daemon looks
+	// down. NewClient installs one; a zero-constructed Client has none.
+	Breaker *Breaker
 }
 
-// NewClient builds a client for addr ("host:port" or a full http URL).
+// NewClient builds a client for addr ("host:port" or a full http URL)
+// with the default retry policy and a circuit breaker.
 func NewClient(addr string) *Client {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	return &Client{Base: strings.TrimRight(addr, "/"), HTTP: &http.Client{}}
+	return &Client{Base: strings.TrimRight(addr, "/"), HTTP: &http.Client{}, Breaker: NewBreaker()}
 }
 
 func (c *Client) poll() time.Duration {
@@ -166,9 +183,55 @@ func (c *Client) poll() time.Duration {
 	return 250 * time.Millisecond
 }
 
-// do issues one request and decodes the JSON response into out,
-// translating non-2xx statuses into errors carrying the server's message.
+// do issues a request with the client's retry policy and circuit
+// breaker: transient failures (transport errors, 5xx) back off and retry
+// while ctx allows and count against the breaker; 429 and other 4xx
+// return immediately (see retry.go for the classification). Safe to
+// retry across the board because the daemon's sweep aliasing makes even
+// POST /v1/sweeps idempotent.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	pol := c.Retry.withDefaults()
+	var lastErr error
+	for attempt := 1; attempt <= pol.Attempts; attempt++ {
+		if attempt > 1 {
+			obsRetries.Add(1)
+			select {
+			case <-time.After(pol.backoff(attempt - 1)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if !c.Breaker.Allow() {
+			return fastFail(method, path)
+		}
+		err := c.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			c.Breaker.Record(true)
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller gave up; not the daemon's fault.
+			return err
+		}
+		var se *StatusError
+		if errors.As(err, &se) && se.Code < 500 {
+			// The daemon answered: 429 is admission control (alive, just
+			// full — SubmitSweep's loop owns the wait), other 4xx are the
+			// request's fault. Neither penalizes the breaker.
+			c.Breaker.Record(true)
+			return err
+		}
+		// Transport error or 5xx: transient by classification — penalize
+		// the breaker and go around for the backoff.
+		c.Breaker.Record(false)
+		lastErr = err
+	}
+	return lastErr
+}
+
+// doOnce issues one request and decodes the JSON response into out,
+// translating non-2xx statuses into errors carrying the server's message.
+func (c *Client) doOnce(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -230,7 +293,9 @@ func retryAfter(resp *http.Response) time.Duration {
 }
 
 // SubmitSweep submits a sweep, retrying while the daemon's queue is full
-// (429 + Retry-After) until ctx expires.
+// (429 + Retry-After) until ctx expires. The honored Retry-After hint is
+// capped against ctx's deadline, so a hostile or buggy hint can't make
+// the client sleep past its own cancellation.
 func (c *Client) SubmitSweep(ctx context.Context, req SweepRequest) (SweepStatus, error) {
 	for {
 		var st SweepStatus
@@ -239,12 +304,21 @@ func (c *Client) SubmitSweep(ctx context.Context, req SweepRequest) (SweepStatus
 			return st, nil
 		}
 		var se *StatusError
-		if !asStatus(err, &se) || se.Code != http.StatusTooManyRequests {
+		if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
 			return SweepStatus{}, err
 		}
 		delay := se.RetryAfter
 		if delay <= 0 {
 			delay = 2 * time.Second
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			remain := time.Until(dl)
+			if remain <= 0 {
+				return SweepStatus{}, context.DeadlineExceeded
+			}
+			if delay > remain {
+				delay = remain
+			}
 		}
 		select {
 		case <-time.After(delay):
@@ -252,15 +326,6 @@ func (c *Client) SubmitSweep(ctx context.Context, req SweepRequest) (SweepStatus
 			return SweepStatus{}, ctx.Err()
 		}
 	}
-}
-
-// asStatus is errors.As without the import dance for a single use.
-func asStatus(err error, target **StatusError) bool {
-	se, ok := err.(*StatusError)
-	if ok {
-		*target = se
-	}
-	return ok
 }
 
 // Sweep fetches a sweep's status.

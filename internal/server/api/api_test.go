@@ -1,0 +1,243 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hotleakage/internal/harness/faultinject"
+)
+
+// fastClient builds a client against url with near-instant backoff so
+// retry tests don't sleep for real.
+func fastClient(url string) *Client {
+	c := NewClient(url)
+	c.Retry = RetryPolicy{Attempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	return c
+}
+
+// TestRetryOn5xx: transient 5xx responses are retried until the daemon
+// recovers, invisible to the caller.
+func TestRetryOn5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, `{"error":"transient"}`, http.StatusBadGateway)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	var h Health
+	if err := fastClient(ts.URL).do(context.Background(), http.MethodGet, "/healthz", nil, &h); err != nil {
+		t.Fatalf("do after transient 5xx: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+	if h.Status != "ok" {
+		t.Errorf("decoded %+v", h)
+	}
+}
+
+// TestNoRetryOn4xx: a 4xx is the request's fault — exactly one attempt.
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no such sweep"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	err := fastClient(ts.URL).do(context.Background(), http.MethodGet, "/v1/sweeps/x", nil, nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404 StatusError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (no 4xx retries)", got)
+	}
+}
+
+// TestRetryTransportErrors: injected connection resets burn retries but
+// not the request, via the fault plane's HTTP transport.
+func TestRetryTransportErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	plane := faultinject.NewPlane().Rule(faultinject.SiteHTTPRequest, faultinject.OpReset, 2, 1, 0)
+	c := fastClient(ts.URL)
+	c.HTTP = &http.Client{Transport: &faultinject.Transport{Plane: plane}}
+	ok := 0
+	for i := 0; i < 20; i++ {
+		var h Health
+		if err := c.do(context.Background(), http.MethodGet, "/healthz", nil, &h); err == nil {
+			ok++
+		}
+	}
+	// A 1/2 reset schedule with 4 attempts should still succeed nearly
+	// always; zero successes would mean retries aren't happening.
+	if ok < 15 {
+		t.Errorf("only %d/20 calls survived a 1/2 reset schedule with retries", ok)
+	}
+}
+
+// TestBreakerOpensAndProbes drives the breaker's full state machine:
+// consecutive failures open it, open fast-fails with ErrUnavailable
+// without touching the daemon, the cooldown admits a single half-open
+// probe, and a probe success closes the circuit.
+func TestBreakerOpensAndProbes(t *testing.T) {
+	var calls atomic.Int64
+	var healthy atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		if !healthy.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	now := time.Now()
+	clock := func() time.Time { return now }
+	c := fastClient(ts.URL)
+	c.Breaker = &Breaker{Threshold: 3, Cooldown: time.Minute, now: clock}
+
+	// Drive it open (4 attempts per do(), threshold 3 → first call opens).
+	if err := c.do(context.Background(), http.MethodGet, "/healthz", nil, nil); err == nil {
+		t.Fatal("sick daemon reported success")
+	}
+	seen := calls.Load()
+	if seen < 3 {
+		t.Fatalf("breaker opened after %d calls, before threshold", seen)
+	}
+
+	// Open: fast-fail, zero network traffic.
+	err := c.do(context.Background(), http.MethodGet, "/healthz", nil, nil)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("open breaker returned %v, want ErrUnavailable", err)
+	}
+	if calls.Load() != seen {
+		t.Error("open breaker still reached the daemon")
+	}
+
+	// Cooldown elapses; the daemon recovers; the single probe closes it.
+	healthy.Store(true)
+	now = now.Add(2 * time.Minute)
+	if err := c.do(context.Background(), http.MethodGet, "/healthz", nil, nil); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if err := c.do(context.Background(), http.MethodGet, "/healthz", nil, nil); err != nil {
+		t.Fatalf("closed-again breaker failed: %v", err)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: while one probe is in flight, other
+// callers keep fast-failing, and a failed probe re-opens the circuit.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	now := time.Now()
+	b := &Breaker{Threshold: 1, Cooldown: time.Second, now: func() time.Time { return now }}
+	b.Record(false)
+	if b.Allow() {
+		t.Fatal("breaker closed after threshold failures")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown did not admit a probe")
+	}
+	if b.Allow() {
+		t.Error("second caller admitted during half-open probe")
+	}
+	b.Record(false) // probe failed: re-open, cooldown restarts
+	if b.Allow() {
+		t.Error("failed probe did not re-open the circuit")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Error("re-opened circuit never re-probed")
+	}
+	b.Record(true)
+	if !b.Allow() || !b.Allow() {
+		t.Error("successful probe did not close the circuit")
+	}
+}
+
+// TestSubmitSweep429NoBreakerPenalty: admission-control 429s are not
+// daemon sickness; they must not open the breaker, and SubmitSweep keeps
+// honoring Retry-After until admitted.
+func TestSubmitSweep429NoBreakerPenalty(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) < 4 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"id":"s1","state":"queued"}`))
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.Breaker = &Breaker{Threshold: 2}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := c.SubmitSweep(ctx, SweepRequest{})
+	if err != nil || st.ID != "s1" {
+		t.Fatalf("SubmitSweep = %+v, %v", st, err)
+	}
+	if !c.Breaker.Allow() {
+		t.Error("429s opened the breaker")
+	}
+}
+
+// TestSubmitSweepRetryAfterCappedByDeadline: a hostile Retry-After hint
+// far past the ctx deadline must not stretch the call — it returns at
+// (about) the deadline, not after the hint.
+func TestSubmitSweepRetryAfterCappedByDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "3600") // one hour
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fastClient(ts.URL).SubmitSweep(ctx, SweepRequest{})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("SubmitSweep succeeded against a permanently full daemon")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("SubmitSweep slept %v on a 200ms deadline (hint not capped)", elapsed)
+	}
+}
+
+// TestRetryPolicyBackoff pins the backoff envelope: exponential growth,
+// hard cap, jitter within [d/2, d].
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}.withDefaults()
+	for attempt := 1; attempt <= 8; attempt++ {
+		want := p.BaseDelay << (attempt - 1)
+		if want > p.MaxDelay || want <= 0 {
+			want = p.MaxDelay
+		}
+		for i := 0; i < 20; i++ {
+			got := p.backoff(attempt)
+			if got < want/2 || got > want {
+				t.Fatalf("backoff(%d) = %v, want in [%v, %v]", attempt, got, want/2, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package api
+
+// Client-side resilience: a retry policy for transient failures and a
+// circuit breaker that stops hammering a daemon that is clearly down.
+//
+// Classification drives everything. Transport errors (connection reset,
+// refused, timeout) and 5xx responses are transient: retried with capped
+// exponential backoff + jitter, and counted against the breaker. 429 is
+// the daemon saying "alive but full": no breaker penalty, surfaced to
+// SubmitSweep whose admission loop honours Retry-After. Other 4xx are
+// the caller's bug: returned immediately, no penalty. Retrying POST
+// /v1/sweeps is safe because the daemon aliases sweeps by request hash —
+// a resubmit of the same document joins the existing sweep.
+//
+// The breaker is the degradation ladder's hinge: once it opens, calls
+// fail in microseconds instead of burning a full retry cycle, which is
+// what lets sim's resolution ladder fall past a sick daemon to local
+// simulation instead of stalling every batch.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hotleakage/internal/obs"
+)
+
+// ErrUnavailable marks a call refused locally because the circuit is
+// open; errors.Is-able through everything the client returns.
+var ErrUnavailable = errors.New("api: daemon unavailable (circuit open)")
+
+// RetryPolicy shapes the client's transient-failure retries. The zero
+// value means the defaults; Attempts 1 disables retrying.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per call (default 4).
+	Attempts int
+	// BaseDelay seeds the exponential backoff (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before try attempt (1-based for the first
+// retry): capped exponential with half-width jitter, so a fleet of
+// clients spreads out instead of thundering back in lockstep.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+var (
+	obsRetries   = obs.Default.Counter(obs.MetricAPIRetries)
+	obsBrkOpens  = obs.Default.Counter(obs.MetricAPIBreakerOpens)
+	obsFastFails = obs.Default.Counter(obs.MetricAPIBreakerFastFails)
+)
+
+// Breaker is a consecutive-failure circuit breaker with half-open
+// probing: Threshold straight failures open it, Allow fast-fails for
+// Cooldown, then exactly one probe is let through — its outcome closes
+// or re-opens the circuit. Safe for concurrent use.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the circuit
+	// (default 5). Cooldown is how long it stays open before a half-open
+	// probe (default 5s). Mutate only before concurrent use.
+	Threshold int
+	Cooldown  time.Duration
+
+	// now is the clock, injectable for tests.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    int
+	fails    int
+	openedAt time.Time
+}
+
+// NewBreaker builds a breaker with default tuning.
+func NewBreaker() *Breaker { return &Breaker{} }
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 5 * time.Second
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether a call may proceed. In the open state it starts
+// returning true once per cooldown expiry (the half-open probe); callers
+// that get false should fail fast with ErrUnavailable.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.clock().Sub(b.openedAt) >= b.cooldown() {
+			b.state = breakerHalfOpen
+			return true // this caller is the probe
+		}
+		return false
+	default: // half-open: one probe already in flight
+		return false
+	}
+}
+
+// Record reports a call's outcome. Success closes the circuit; failure
+// counts toward the threshold (or immediately re-opens a half-open
+// circuit, restarting the cooldown).
+func (b *Breaker) Record(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = breakerClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.threshold() {
+		if b.state != breakerOpen {
+			obsBrkOpens.Add(1)
+		}
+		b.state = breakerOpen
+		b.openedAt = b.clock()
+	}
+}
+
+// fastFail renders the breaker's refusal.
+func fastFail(method, path string) error {
+	obsFastFails.Add(1)
+	return fmt.Errorf("api: %s %s: %w", method, path, ErrUnavailable)
+}

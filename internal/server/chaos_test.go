@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hotleakage/internal/harness/faultinject"
+	"hotleakage/internal/server/api"
+	"hotleakage/internal/store"
+)
+
+// chaosClient builds a client hardened enough to survive the injected
+// fault density: more attempts, fast backoff, quick breaker recovery.
+func chaosClient(url string) *api.Client {
+	cl := api.NewClient(url)
+	cl.PollInterval = 5 * time.Millisecond
+	cl.Retry = api.RetryPolicy{Attempts: 6, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	cl.Breaker = &api.Breaker{Threshold: 8, Cooldown: 30 * time.Millisecond}
+	return cl
+}
+
+// waitTolerant polls a sweep to a terminal state, riding out transient
+// client-visible failures (injected 5xx bursts that outlast the retry
+// budget, breaker fast-fails during cooldown).
+func waitTolerant(t *testing.T, cl *api.Client, id string) api.SweepStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := cl.Sweep(context.Background(), id)
+		if err == nil && api.Terminal(st.State) {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("sweep %s never reached a terminal state under chaos", id)
+	return api.SweepStatus{}
+}
+
+// TestChaosSoak runs a daemon with faults injected at both seams at once —
+// store syncs/writes failing intermittently, the HTTP handler throwing 5xx
+// and panics — drives a series of sweeps through it, and then proves the
+// acknowledgment contract: after a clean restart of the store, every cell
+// acknowledged "done" by a non-degraded sweep is present and bit-identical
+// to a fault-free reference run, and GC still reclaims space without
+// touching live records.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	dir := t.TempDir()
+	splane, err := faultinject.ParsePlane(
+		"store.sync:err:1/20:seed=7,store.write:err:1/40:seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.OpenOptions(dir, store.Options{
+		FS:   &store.FaultFS{Plane: splane, Base: store.OSFS{}},
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hplane, err := faultinject.ParsePlane(
+		"server.handler:5xx:1/9:seed=3,server.handler:panic:1/31:seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, st)
+	cfg.Plane = hplane
+	cfg.SweepTimeout = 60 * time.Second
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(srv.Handler())
+	cl := chaosClient(hts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Distinct sweeps across techniques and intervals, plus one resubmit
+	// that must alias or resolve from the store.
+	reqs := []api.SweepRequest{
+		{Instructions: testInstr, Warmup: testWarmup, Cells: []api.Cell{
+			{Bench: "gzip", L2: 11, Technique: "none"},
+			{Bench: "gzip", L2: 11, Technique: "drowsy", Interval: 4096},
+		}},
+		{Instructions: testInstr, Warmup: testWarmup, Cells: []api.Cell{
+			{Bench: "gzip", L2: 11, Technique: "gated-vss", Interval: 4096},
+			{Bench: "gzip", L2: 11, Technique: "drowsy", Interval: 16384},
+		}},
+		{Instructions: testInstr, Warmup: testWarmup, Cells: []api.Cell{
+			{Bench: "gzip", L2: 11, Technique: "gated-vss", Interval: 65536},
+		}},
+		{Instructions: testInstr, Warmup: testWarmup, Cells: []api.Cell{ // resubmit of sweep 1
+			{Bench: "gzip", L2: 11, Technique: "none"},
+			{Bench: "gzip", L2: 11, Technique: "drowsy", Interval: 4096},
+		}},
+	}
+
+	type acked struct {
+		hash     string
+		degraded bool
+	}
+	var results []acked
+	for i, req := range reqs {
+		var sub api.SweepStatus
+		submitDeadline := time.Now().Add(60 * time.Second)
+		for {
+			sub, err = cl.SubmitSweep(ctx, req)
+			if err == nil {
+				break
+			}
+			if time.Now().After(submitDeadline) {
+				t.Fatalf("sweep %d: submit never succeeded under chaos: %v", i, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		final := waitTolerant(t, cl, sub.ID)
+		if final.State != api.StateCompleted {
+			t.Fatalf("sweep %d ended %q (%s), want completed — chaos must degrade, not fail",
+				i, final.State, final.Error)
+		}
+		if final.Failed != 0 {
+			t.Fatalf("sweep %d: %d cells failed under store faults", i, final.Failed)
+		}
+		for _, cs := range final.Cells {
+			if cs.State == "done" {
+				results = append(results, acked{cs.Hash, final.Degraded != ""})
+			}
+		}
+	}
+	if len(results) == 0 {
+		t.Fatal("no cells acknowledged")
+	}
+
+	// The daemon survived the whole soak: still answering health checks.
+	hOK := false
+	for i := 0; i < 20 && !hOK; i++ {
+		if _, err := cl.Health(ctx); err == nil {
+			hOK = true
+		}
+	}
+	if !hOK {
+		t.Error("daemon unreachable after soak")
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown after soak: %v", err)
+	}
+	hts.Close()
+	if err := st.Close(); err != nil {
+		t.Logf("faulted store close: %v", err) // sync faults may surface here; not a loss
+	}
+
+	// Clean restart: acknowledged non-degraded results must all be there.
+	st2, err := store.OpenOptions(dir, store.Options{Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if q := st2.Quarantined(); q != 0 {
+		t.Errorf("clean reopen quarantined %d records — injected faults corrupted acknowledged data", q)
+	}
+	values := make(map[string][]byte)
+	for _, a := range results {
+		rec, ok, err := st2.Get(a.hash)
+		if err != nil {
+			t.Fatalf("get %s after restart: %v", a.hash, err)
+		}
+		if !ok && !a.degraded {
+			t.Errorf("cell %s acknowledged by a non-degraded sweep is missing after restart", a.hash)
+		}
+		if ok {
+			values[a.hash] = append([]byte(nil), rec.Value...)
+		}
+	}
+
+	// Fault-free reference run over a fresh store: surviving chaos results
+	// must be bit-identical.
+	refDir := t.TempDir()
+	refStore := openStore(t, refDir)
+	defer refStore.Close()
+	refSrv, err := New(testConfig(t, refStore))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHts := httptest.NewServer(refSrv.Handler())
+	defer refHts.Close()
+	defer func() {
+		c, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer ccancel()
+		_ = refSrv.Shutdown(c)
+	}()
+	refCl := api.NewClient(refHts.URL)
+	refCl.PollInterval = 5 * time.Millisecond
+	for i, req := range reqs[:3] {
+		sub, err := refCl.SubmitSweep(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := refCl.WaitSweep(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != api.StateCompleted {
+			t.Fatalf("reference sweep %d ended %q", i, final.State)
+		}
+		for _, cs := range final.Cells {
+			ref, ok, err := refStore.Get(cs.Hash)
+			if err != nil || !ok {
+				t.Fatalf("reference cell %s: ok=%v err=%v", cs.Hash, ok, err)
+			}
+			if got, have := values[cs.Hash]; have {
+				if !bytes.Equal(got, ref.Value) {
+					t.Errorf("cell %s: chaos-run result differs from fault-free reference", cs.Hash)
+				}
+			}
+		}
+	}
+
+	// GC on the recovered store: a halved byte budget reclaims space and
+	// every surviving record stays readable.
+	before := st2.Bytes()
+	stats, err := st2.GC(store.GCPolicy{MaxBytes: before / 2})
+	if err != nil {
+		t.Fatalf("GC after chaos: %v", err)
+	}
+	if st2.Bytes() >= before {
+		t.Errorf("GC reclaimed nothing: %d -> %d bytes", before, st2.Bytes())
+	}
+	if stats.Dropped == 0 {
+		t.Error("GC over budget dropped no records")
+	}
+	if st2.Len() != stats.Live {
+		t.Errorf("Len %d != GC live count %d", st2.Len(), stats.Live)
+	}
+}

@@ -15,12 +15,14 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"hotleakage/internal/harness"
+	"hotleakage/internal/harness/faultinject"
 	"hotleakage/internal/leakctl"
 	"hotleakage/internal/obs"
 	"hotleakage/internal/server/api"
@@ -37,6 +39,9 @@ var (
 	obsSweepsAccepted  = obs.Default.Counter(obs.MetricSweepsAccepted)
 	obsSweepsRejected  = obs.Default.Counter(obs.MetricSweepsRejected)
 	obsSweepsCompleted = obs.Default.Counter(obs.MetricSweepsCompleted)
+	obsSweepsDegraded  = obs.Default.Counter(obs.MetricSweepsDegraded)
+	obsServerPanics    = obs.Default.Counter(obs.MetricServerPanics)
+	obsWatchdogFired   = obs.Default.Counter(obs.MetricWatchdogTimeouts)
 )
 
 // Config parameterizes a daemon. Store is required; everything else has a
@@ -61,6 +66,14 @@ type Config struct {
 	// RunTimeout and MaxRetries pass through to the harness per run.
 	RunTimeout time.Duration
 	MaxRetries int
+	// SweepTimeout is the watchdog: a sweep running longer than this is
+	// canceled and marked failed (0 = no watchdog). The cancellation
+	// propagates through the harness, so in-flight cells drain and
+	// completed cells stay checkpointed and stored.
+	SweepTimeout time.Duration
+	// Plane, when non-nil, injects faults into request handling (the
+	// server.handler site) — chaos testing only.
+	Plane *faultinject.Plane
 	// RetryAfter is the backoff hint attached to 429s (default 5s).
 	RetryAfter time.Duration
 	// Events, when non-nil, additionally receives every sweep's trace
@@ -89,6 +102,10 @@ type Server struct {
 	seq      int
 	sweeps   map[string]*sweep
 	byHash   map[string]*sweep // request hash -> most recent sweep
+	// degraded holds deduplicated reasons the daemon is limping (store
+	// trouble on otherwise-successful sweeps, isolated panics); /healthz
+	// reports them under status "degraded".
+	degraded []string
 }
 
 // sweep is one admitted request moving through queued -> running ->
@@ -113,6 +130,10 @@ type sweep struct {
 	exp      *sim.Experiments // live counters while running
 	outcomes []sim.CellOutcome
 	errMsg   string
+	// degradedMsg marks a sweep that completed with results intact but
+	// with infrastructure trouble (store writes failing): the work is
+	// done, just not all of it persisted for reuse.
+	degradedMsg string
 	// final tallies, captured before the Experiments is closed
 	executed, storeHits, resumed int
 }
@@ -200,8 +221,38 @@ func (s *Server) startExecutors() {
 	}
 }
 
-// Handler returns the daemon's route table, ready for obs.HardenedServer.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's routes wrapped in per-request panic
+// isolation (a handler panic 500s that request — counted and logged —
+// instead of killing the daemon) and, when Config.Plane is set, the
+// server.handler fault-injection site.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				obsServerPanics.Add(1)
+				s.noteDegraded(fmt.Sprintf("handler panic (%s %s)", r.Method, r.URL.Path))
+				s.cfg.Log.Printf("leakd: panic in %s %s (isolated): %v\n%s",
+					r.Method, r.URL.Path, p, debug.Stack())
+				// Best effort: if the handler already wrote headers this is
+				// a no-op on the status line, but the connection still ends.
+				httpError(w, http.StatusInternalServerError, "internal error (request isolated)")
+			}
+		}()
+		if s.cfg.Plane != nil {
+			d := s.cfg.Plane.Decide(faultinject.SiteServerHandler)
+			switch d.Fault {
+			case faultinject.OpSlow:
+				time.Sleep(d.Delay)
+			case faultinject.OpPanic:
+				panic("faultinject: injected panic at " + faultinject.SiteServerHandler)
+			case faultinject.Op5xx, faultinject.OpErr, faultinject.OpReset, faultinject.OpShort:
+				httpError(w, http.StatusBadGateway, "injected fault")
+				return
+			}
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // executor pulls sweeps off the queues, interactive first: a ready
 // interactive sweep always overtakes a waiting bulk one.
@@ -220,7 +271,36 @@ func (s *Server) executor() {
 			}
 		}
 		obsQueueDepth.Add(-1)
-		s.execute(sw)
+		s.runIsolated(sw)
+	}
+}
+
+// runIsolated executes one sweep with panic isolation: a panic escaping
+// the harness (or injected by the chaos plane) fails that sweep, not the
+// executor goroutine — the daemon keeps serving.
+func (s *Server) runIsolated(sw *sweep) {
+	defer func() {
+		if p := recover(); p != nil {
+			obsServerPanics.Add(1)
+			s.noteDegraded("sweep executor panic")
+			s.cfg.Log.Printf("leakd: panic in sweep %s (isolated): %v\n%s", sw.id, p, debug.Stack())
+			s.finishUnrun(sw, api.StateFailed, fmt.Sprintf("sweep panicked: %v", p))
+		}
+	}()
+	s.execute(sw)
+}
+
+// noteDegraded records a deduplicated degradation reason for /healthz.
+func (s *Server) noteDegraded(reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.degraded {
+		if r == reason {
+			return
+		}
+	}
+	if len(s.degraded) < 16 {
+		s.degraded = append(s.degraded, reason)
 	}
 }
 
@@ -243,6 +323,16 @@ func (s *Server) execute(sw *sweep) {
 	defer obsSweepsInFlight.Add(-1)
 	defer sw.cancel()
 
+	// The watchdog bounds the whole sweep; its cancellation propagates
+	// through the harness exactly like a drain (in-flight cells stop,
+	// completed cells are already durable).
+	runCtx := sw.ctx
+	if s.cfg.SweepTimeout > 0 {
+		var wcancel context.CancelFunc
+		runCtx, wcancel = context.WithTimeout(sw.ctx, s.cfg.SweepTimeout)
+		defer wcancel()
+	}
+
 	e := sim.NewExperiments()
 	e.Instructions = sw.instructions
 	e.Warmup = sw.warmup
@@ -250,7 +340,7 @@ func (s *Server) execute(sw *sweep) {
 	e.Workers = s.cfg.Workers
 	e.Store = s.cfg.Store
 	e.SharedTraces = s.traces
-	e.Ctx = sw.ctx
+	e.Ctx = runCtx
 	e.RunTimeout = s.cfg.RunTimeout
 	e.MaxRetries = s.cfg.MaxRetries
 	e.Events = multiSink{sw.hub, s.cfg.Events}
@@ -270,14 +360,20 @@ func (s *Server) execute(sw *sweep) {
 	s.cfg.Log.Printf("leakd: sweep %s running (%d cells, %s)", sw.id, len(sw.cells), sw.priority)
 
 	outs, runErr := e.RunCells(sw.cells)
-	if runErr == nil {
-		runErr = e.Err()
-	}
+	// Run trouble and infrastructure trouble are different verdicts: a
+	// batch that produced its results but could not persist them all is
+	// degraded-complete (the daemon recomputes next time instead of lying
+	// about durability), not failed.
+	infraErr := e.Err()
 	executed, hits, resumed := e.Executed(), e.StoreHits(), e.Resumed()
 	_ = e.Close()
 
+	// The watchdog fired iff the run context died while the sweep's own
+	// context (drain, client deadline) is still alive.
+	watchdogFired := runCtx.Err() != nil && sw.ctx.Err() == nil
+
 	state := api.StateCompleted
-	var msg string
+	var msg, degradedMsg string
 	failed := 0
 	for _, o := range outs {
 		if o.Err != nil {
@@ -285,6 +381,10 @@ func (s *Server) execute(sw *sweep) {
 		}
 	}
 	switch {
+	case (runErr != nil || failed > 0) && watchdogFired:
+		state = api.StateFailed
+		msg = fmt.Sprintf("sweep watchdog timeout after %s", s.cfg.SweepTimeout)
+		obsWatchdogFired.Add(1)
 	case runErr != nil && sw.ctx.Err() != nil:
 		state, msg = api.StateCanceled, sw.ctx.Err().Error()
 	case runErr != nil:
@@ -294,6 +394,12 @@ func (s *Server) execute(sw *sweep) {
 		// or deadline: the sweep is canceled, not completed.
 		state, msg = api.StateCanceled, sw.ctx.Err().Error()
 	}
+	if state == api.StateCompleted && infraErr != nil {
+		degradedMsg = infraErr.Error()
+		obsSweepsDegraded.Add(1)
+		s.noteDegraded("store trouble: " + infraErr.Error())
+		s.cfg.Log.Printf("leakd: sweep %s degraded-complete: %v", sw.id, infraErr)
+	}
 
 	sw.mu.Lock()
 	sw.state = state
@@ -301,6 +407,7 @@ func (s *Server) execute(sw *sweep) {
 	sw.exp = nil
 	sw.outcomes = outs
 	sw.errMsg = msg
+	sw.degradedMsg = degradedMsg
 	sw.executed, sw.storeHits, sw.resumed = executed, hits, resumed
 	sw.mu.Unlock()
 
@@ -578,6 +685,7 @@ func (s *Server) status(sw *sweep, withCells bool) api.SweepStatus {
 		Created:  sw.created,
 		Total:    len(sw.cells),
 		Error:    sw.errMsg,
+		Degraded: sw.degradedMsg,
 	}
 	if !sw.started.IsZero() {
 		t := sw.started
@@ -701,21 +809,37 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	respondJSON(w, http.StatusOK, api.CellRecord{Hash: rec.Hash, Key: rec.Key, Value: rec.Value})
 }
 
+// handleHealthz reports the daemon's tri-state health: "ok", "degraded"
+// (serving, but limping — store corruption quarantined at open, store
+// writes failing, isolated panics; Reasons says why) with 200 so load
+// balancers keep routing, or "draining" with 503 so they stop.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
+	reasons := append([]string(nil), s.degraded...)
 	s.mu.Unlock()
+	quarantined := s.cfg.Store.Quarantined()
+	if quarantined > 0 {
+		reasons = append(reasons, fmt.Sprintf("store quarantined %d corrupt records at open", quarantined))
+	}
 	h := api.Health{
-		Status:         "ok",
-		Draining:       draining,
-		QueueDepth:     len(s.interactive) + len(s.bulk),
-		SweepsInFlight: int(obsSweepsInFlight.Value()),
-		StoreCells:     s.cfg.Store.Len(),
+		Status:           "ok",
+		Draining:         draining,
+		Reasons:          reasons,
+		QueueDepth:       len(s.interactive) + len(s.bulk),
+		SweepsInFlight:   int(obsSweepsInFlight.Value()),
+		StoreCells:       s.cfg.Store.Len(),
+		StoreQuarantined: quarantined,
+	}
+	code := http.StatusOK
+	if len(reasons) > 0 {
+		h.Status = "degraded"
 	}
 	if draining {
 		h.Status = "draining"
+		code = http.StatusServiceUnavailable
 	}
-	respondJSON(w, http.StatusOK, h)
+	respondJSON(w, code, h)
 }
 
 func respondJSON(w http.ResponseWriter, code int, v any) {

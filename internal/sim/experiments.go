@@ -32,6 +32,10 @@ var (
 	obsStoreMisses = obs.Default.Counter(obs.MetricStoreMisses)
 )
 
+// obsRemoteDegraded counts batches that fell back from a sick remote
+// daemon to the local resolution ladder (RemoteFallback).
+var obsRemoteDegraded = obs.Default.Counter(obs.MetricRemoteDegraded)
+
 // DefaultInterval is the fixed decay interval used for the non-adaptive
 // figures. The paper chose "shorter decay intervals that — for our leakage
 // model — we found to give better energy savings"; 4K cycles plays that
@@ -126,6 +130,12 @@ type Experiments struct {
 	// leakd daemon (leakbench -remote): the local process keeps the memo,
 	// evaluation and rendering layers and ships only simulation out.
 	Remote RemoteRunner
+	// RemoteFallback lets a batch whose remote delegation fails at the
+	// transport level (daemon down, circuit open, sweep failed) degrade to
+	// the local resolution ladder — store, checkpoint, simulation —
+	// instead of failing the batch. Per-cell remote failures are still
+	// per-cell verdicts, not a reason to re-run locally.
+	RemoteFallback bool
 
 	// Ctx, when non-nil, cancels the whole suite (SIGINT handling in the
 	// commands). In-flight runs drain as Canceled failures; completed
@@ -469,7 +479,32 @@ func (e *Experiments) runSpecs(specs []runSpec) error {
 	obsCellsPlanned.Add(int64(len(pending)))
 
 	if e.Remote != nil {
-		return e.runSpecsRemote(pending)
+		err := e.runSpecsRemote(pending)
+		if err == nil {
+			return nil
+		}
+		if !e.RemoteFallback || e.ctx().Err() != nil {
+			// Terminal for this batch: memoize the batch error per cell so
+			// figures render ERR and FailureSummary makes the command exit
+			// non-zero — a silent 0 would misreport a dead daemon as success.
+			canceled := e.ctx().Err() != nil
+			e.mu.Lock()
+			for _, sp := range pending {
+				e.failures[sp.key()] = &harness.RunError{
+					Key: sp.key(), Benchmark: sp.prof.Name, Technique: sp.tech.String(),
+					Err: err.Error(), Canceled: canceled,
+				}
+			}
+			e.mu.Unlock()
+			return err
+		}
+		// The daemon is sick (or the breaker is open): degrade this batch
+		// to the local ladder rather than stalling the whole figure run.
+		obsRemoteDegraded.Add(1)
+		if e.Events != nil {
+			e.Events.Write(obs.Record{Type: "remote_degraded", Error: err.Error(),
+				Detail: fmt.Sprintf("%d cells fall back to local resolution", len(pending))})
+		}
 	}
 
 	sup, err := e.supervisor()

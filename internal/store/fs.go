@@ -1,0 +1,202 @@
+package store
+
+// The store's file I/O goes through the FS interface so chaos tests can
+// interpose a fault plane between the store and the kernel. OSFS is the
+// real thing; FaultFS wraps any FS and consults a faultinject.Plane before
+// every operation, which is how the suite proves the recovery paths (torn
+// tails, failed fsyncs, EIO mid-compaction) actually work instead of
+// trusting that they would.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hotleakage/internal/harness/faultinject"
+)
+
+// File is the slice of *os.File the store needs.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	Seek(offset int64, whence int) (int64, error)
+	Stat() (os.FileInfo, error)
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS is the slice of the filesystem the store needs. Implementations must
+// be safe for concurrent use.
+type FS interface {
+	MkdirAll(dir string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Glob(pattern string) ([]string, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory, persisting renames and removals within
+	// it — the step that makes compaction's atomic rename durable.
+	SyncDir(dir string) error
+}
+
+// OSFS is the production FS, backed by the os package.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Glob implements FS.
+func (OSFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// FaultFS wraps an FS with a fault plane. Operations consult the plane's
+// store.* sites; a firing rule fails the operation (OpErr), persists only
+// a prefix before failing (OpShort, writes only), delays it (OpSlow), or
+// panics (OpPanic). A nil Plane passes everything through.
+type FaultFS struct {
+	Plane *faultinject.Plane
+	Base  FS
+}
+
+func (f *FaultFS) base() FS {
+	if f.Base == nil {
+		return OSFS{}
+	}
+	return f.Base
+}
+
+// decide consults the plane at site and renders the verdict: a non-nil
+// error to return, or a delay/panic applied in place.
+func decide(p *faultinject.Plane, site string) error {
+	d := p.Decide(site)
+	switch d.Fault {
+	case faultinject.OpSlow:
+		time.Sleep(d.Delay)
+	case faultinject.OpPanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s", site))
+	}
+	return d.Err(site)
+}
+
+// MkdirAll implements FS (no fault site: store setup, not data path).
+func (f *FaultFS) MkdirAll(dir string, perm os.FileMode) error {
+	return f.base().MkdirAll(dir, perm)
+}
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := decide(f.Plane, faultinject.SiteStoreOpen); err != nil {
+		return nil, err
+	}
+	file, err := f.base().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, plane: f.Plane}, nil
+}
+
+// Glob implements FS (no fault site: a failed glob is not a recoverable
+// data fault, it is an unopenable store).
+func (f *FaultFS) Glob(pattern string) ([]string, error) { return f.base().Glob(pattern) }
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := decide(f.Plane, faultinject.SiteStoreRename); err != nil {
+		return err
+	}
+	return f.base().Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := decide(f.Plane, faultinject.SiteStoreRemove); err != nil {
+		return err
+	}
+	return f.base().Remove(name)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := decide(f.Plane, faultinject.SiteStoreSync); err != nil {
+		return err
+	}
+	return f.base().SyncDir(dir)
+}
+
+// faultFile interposes the plane on a File's data operations.
+type faultFile struct {
+	File
+	plane *faultinject.Plane
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := decide(f.plane, faultinject.SiteStoreRead); err != nil {
+		return 0, err
+	}
+	return f.File.Read(p)
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := decide(f.plane, faultinject.SiteStoreRead); err != nil {
+		return 0, err
+	}
+	return f.File.ReadAt(p, off)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	d := f.plane.Decide(faultinject.SiteStoreWrite)
+	switch d.Fault {
+	case faultinject.OpShort:
+		// Torn write: a prefix reaches the file, then the write fails —
+		// the case the open-time tail truncation must recover from.
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, d.Err(faultinject.SiteStoreWrite)
+	case faultinject.OpErr, faultinject.OpReset:
+		return 0, d.Err(faultinject.SiteStoreWrite)
+	case faultinject.OpSlow:
+		time.Sleep(d.Delay)
+	case faultinject.OpPanic:
+		panic("faultinject: injected panic at " + faultinject.SiteStoreWrite)
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := decide(f.plane, faultinject.SiteStoreSync); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := decide(f.plane, faultinject.SiteStoreTruncate); err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}

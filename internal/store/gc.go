@@ -1,0 +1,265 @@
+package store
+
+// Garbage collection for the result store. The store is append-only and
+// content-addressed, so "delete" can only mean "rewrite without": GC
+// selects expired records (by TTL and/or a total-size budget), then
+// compacts every sealed segment into one fresh file holding only live
+// records, byte-identical to their first write.
+//
+// # Crash-safety protocol
+//
+// Compaction never modifies a segment in place:
+//
+//  1. write live records to <first-sealed>.tmp (invisible to Open's
+//     seg-*.jsonl glob), fsync it;
+//  2. atomically rename it over the first sealed segment, fsync the dir;
+//  3. remove the remaining sealed segments, fsync the dir.
+//
+// A crash before (2) leaves the store exactly as it was. A crash between
+// (2) and the end of (3) leaves the compacted segment first in scan
+// order plus some stale segments: their live records are duplicates the
+// first-occurrence-wins index ignores, and their expired records
+// resurrect until the next GC pass. GC is therefore at-least-once —
+// expiry may need a second pass after a crash — while acknowledged live
+// records are never lost at any crash point.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"hotleakage/internal/obs"
+)
+
+// GCPolicy selects which records expire.
+type GCPolicy struct {
+	// TTL expires records older than this (0 = no age limit). Records
+	// written before timestamps existed count as infinitely old.
+	TTL time.Duration
+	// MaxBytes caps the live corpus; when the store exceeds it, the
+	// oldest records expire until it fits (0 = no size limit).
+	MaxBytes int64
+}
+
+// Enabled reports whether the policy can ever expire anything.
+func (p GCPolicy) Enabled() bool { return p.TTL > 0 || p.MaxBytes > 0 }
+
+// GCStats reports one GC pass.
+type GCStats struct {
+	Dropped        int   // records expired
+	Live           int   // records surviving
+	ReclaimedBytes int64 // disk bytes freed by compaction
+	Compacted      bool  // whether segments were rewritten
+}
+
+var (
+	obsGCRuns      = obs.Default.Counter(obs.MetricStoreGCRuns)
+	obsGCDropped   = obs.Default.Counter(obs.MetricStoreGCDropped)
+	obsGCReclaimed = obs.Default.Counter(obs.MetricStoreGCReclaimedB)
+)
+
+// GC runs one collection pass under policy. It blocks writers and readers
+// for the duration (compaction is a scan + sequential rewrite of live
+// bytes; the corpus is index-bounded, not memory-loaded).
+func (s *Store) GC(policy GCPolicy) (GCStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obsGCRuns.Add(1)
+	if s.closed {
+		return GCStats{}, fmt.Errorf("store: closed")
+	}
+
+	drop := s.selectExpiredLocked(policy)
+	stats := GCStats{Dropped: len(drop), Live: len(s.index) - len(drop)}
+	if len(drop) == 0 {
+		return stats, nil
+	}
+
+	// Expired records in the append segment can only be shed by sealing
+	// it first; compaction below only touches sealed segments.
+	appendIdx := len(s.segs) - 1
+	for h := range drop {
+		if s.index[h].seg == appendIdx {
+			if err := s.rotateLocked(); err != nil {
+				return stats, err
+			}
+			break
+		}
+	}
+
+	before := s.bytesLocked()
+	if err := s.compactSealedLocked(drop); err != nil {
+		return stats, err
+	}
+	stats.Compacted = true
+	stats.ReclaimedBytes = before - s.bytesLocked()
+	obsGCDropped.Add(uint64(stats.Dropped))
+	if stats.ReclaimedBytes > 0 {
+		obsGCReclaimed.Add(uint64(stats.ReclaimedBytes))
+	}
+	s.logf("store: gc dropped %d records, reclaimed %d bytes (%d live)",
+		stats.Dropped, stats.ReclaimedBytes, stats.Live)
+	return stats, nil
+}
+
+// selectExpiredLocked returns the set of hashes the policy expires: first
+// everything past TTL, then — if the survivors still exceed MaxBytes —
+// the oldest survivors until the corpus fits.
+func (s *Store) selectExpiredLocked(policy GCPolicy) map[string]bool {
+	drop := make(map[string]bool)
+	var cutoff int64
+	if policy.TTL > 0 {
+		cutoff = s.now().Add(-policy.TTL).Unix()
+	}
+	type aged struct {
+		hash  string
+		t     int64
+		bytes int64
+	}
+	var liveBytes int64
+	var live []aged
+	for h, l := range s.index {
+		if policy.TTL > 0 && l.t < cutoff {
+			drop[h] = true
+			continue
+		}
+		liveBytes += l.length + 1
+		live = append(live, aged{hash: h, t: l.t, bytes: l.length + 1})
+	}
+	if policy.MaxBytes > 0 && liveBytes > policy.MaxBytes {
+		sort.Slice(live, func(i, j int) bool { return live[i].t < live[j].t })
+		for _, a := range live {
+			if liveBytes <= policy.MaxBytes {
+				break
+			}
+			drop[a.hash] = true
+			liveBytes -= a.bytes
+		}
+	}
+	return drop
+}
+
+// compactSealedLocked rewrites every sealed segment into one new file
+// holding the surviving records (original bytes, preserved verbatim),
+// following the crash-safety protocol in the package comment, then
+// rebuilds the in-memory index and segment table.
+func (s *Store) compactSealedLocked(drop map[string]bool) error {
+	appendIdx := len(s.segs) - 1
+	sealed := s.segs[:appendIdx]
+	if len(sealed) == 0 {
+		// Nothing sealed: the rotation above didn't happen because no
+		// append-segment record expired, so there is nothing to rewrite.
+		return nil
+	}
+
+	// Survivors from sealed segments, in stable (segment, offset) order.
+	type move struct {
+		hash string
+		old  loc
+	}
+	var moves []move
+	for h, l := range s.index {
+		if l.seg < appendIdx && !drop[h] {
+			moves = append(moves, move{hash: h, old: l})
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].old.seg != moves[j].old.seg {
+			return moves[i].old.seg < moves[j].old.seg
+		}
+		return moves[i].old.offset < moves[j].old.offset
+	})
+
+	dstPath := sealed[0].path
+	newLocs := make(map[string]loc, len(moves))
+	var newSize int64
+	if len(moves) > 0 {
+		tmpPath := dstPath + ".tmp"
+		tmp, err := s.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: gc: %w", err)
+		}
+		for _, m := range moves {
+			buf := make([]byte, m.old.length+1)
+			if _, err := sealed[m.old.seg].f.ReadAt(buf, m.old.offset); err != nil {
+				tmp.Close()
+				s.fs.Remove(tmpPath)
+				return fmt.Errorf("store: gc: read %s: %w", m.hash, err)
+			}
+			if _, err := tmp.Write(buf); err != nil {
+				tmp.Close()
+				s.fs.Remove(tmpPath)
+				return fmt.Errorf("store: gc: write %s: %w", m.hash, err)
+			}
+			newLocs[m.hash] = loc{seg: 0, offset: newSize, length: m.old.length, t: m.old.t}
+			newSize += m.old.length + 1
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			s.fs.Remove(tmpPath)
+			return fmt.Errorf("store: gc: sync: %w", err)
+		}
+		if err := tmp.Close(); err != nil {
+			s.fs.Remove(tmpPath)
+			return fmt.Errorf("store: gc: close: %w", err)
+		}
+		// The commit point: after this rename the compacted segment is
+		// first in scan order and every survivor is durable in it.
+		if err := s.fs.Rename(tmpPath, dstPath); err != nil {
+			s.fs.Remove(tmpPath)
+			return fmt.Errorf("store: gc: rename: %w", err)
+		}
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			return fmt.Errorf("store: gc: sync dir: %w", err)
+		}
+	}
+
+	// Rebuild in-memory state before removing stale files, so a removal
+	// fault leaves a consistent store (stale segments are dup/expired
+	// data the next Open ignores or the next GC sheds).
+	var newSegs []*segment
+	var removeErr error
+	if len(moves) > 0 {
+		dst, err := s.fs.OpenFile(dstPath, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: gc: reopen %s: %w", dstPath, err)
+		}
+		if _, err := dst.Seek(0, io.SeekEnd); err != nil {
+			dst.Close()
+			return fmt.Errorf("store: gc: %w", err)
+		}
+		newSegs = append(newSegs, &segment{path: dstPath, f: dst, size: newSize})
+	}
+	appendSeg := s.segs[appendIdx]
+	newAppendIdx := len(newSegs)
+	newSegs = append(newSegs, appendSeg)
+
+	for h, l := range s.index {
+		switch {
+		case drop[h]:
+			delete(s.index, h)
+		case l.seg == appendIdx:
+			l.seg = newAppendIdx
+			s.index[h] = l
+		default:
+			s.index[h] = newLocs[h]
+		}
+	}
+
+	for i, seg := range sealed {
+		seg.f.Close()
+		if i == 0 && len(moves) > 0 {
+			continue // its path now holds the compacted file
+		}
+		if err := s.fs.Remove(seg.path); err != nil && removeErr == nil {
+			removeErr = fmt.Errorf("store: gc: remove %s: %w", seg.path, err)
+		}
+	}
+	s.segs = newSegs
+	if err := s.fs.SyncDir(s.dir); err != nil && removeErr == nil {
+		removeErr = fmt.Errorf("store: gc: sync dir: %w", err)
+	}
+	return removeErr
+}

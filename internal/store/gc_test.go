@@ -1,0 +1,464 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hotleakage/internal/harness/faultinject"
+)
+
+// fakeClock is an injectable, advanceable time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// quiet swallows store log lines so chaos tests don't spam the output.
+func quiet(string, ...any) {}
+
+// TestQuarantineKeepsLaterRecords corrupts one complete line in the
+// middle of a segment and requires every other record — before AND after
+// the damage — to survive, with the loss counted.
+func TestQuarantineKeepsLaterRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hashes []string
+	for i := 0; i < 10; i++ {
+		hashes = append(hashes, mustPut(t, s, i))
+	}
+	s.Close()
+
+	seg := filepath.Join(dir, "seg-000001.jsonl")
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(b, []byte("\n"))
+	// Replace line 4 with same-length garbage (keeps later offsets honest).
+	lines[4] = append(bytes.Repeat([]byte("x"), len(lines[4])-1), '\n')
+	if err := os.WriteFile(seg, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenOptions(dir, Options{Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got != 9 {
+		t.Fatalf("recovered %d records, want 9", got)
+	}
+	if got := s2.Quarantined(); got != 1 {
+		t.Errorf("Quarantined() = %d, want 1", got)
+	}
+	if got := s2.Skipped(); got != 1 {
+		t.Errorf("Skipped() = %d, want 1", got)
+	}
+	for i, h := range hashes {
+		rec, ok, err := s2.Get(h)
+		if i == 4 {
+			if ok {
+				t.Error("corrupted record still served")
+			}
+			continue
+		}
+		if err != nil || !ok {
+			t.Fatalf("record %d (%s): %v, %v", i, h, ok, err)
+		}
+		var v cellVal
+		if err := json.Unmarshal(rec.Value, &v); err != nil || v.N != i {
+			t.Errorf("record %d round-tripped as %+v (%v)", i, v, err)
+		}
+	}
+}
+
+// TestGCTTLExpiry: records older than the TTL are dropped, younger ones
+// survive compaction bit-identically, and the result persists a reload.
+func TestGCTTLExpiry(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	s, err := OpenOptions(dir, Options{Now: clock.Now, Logf: quiet, SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old, young []string
+	for i := 0; i < 6; i++ {
+		old = append(old, mustPut(t, s, i))
+	}
+	clock.Advance(48 * time.Hour)
+	for i := 100; i < 106; i++ {
+		young = append(young, mustPut(t, s, i))
+	}
+	wantValues := map[string]json.RawMessage{}
+	for _, h := range young {
+		rec, ok, err := s.Get(h)
+		if !ok || err != nil {
+			t.Fatal(ok, err)
+		}
+		wantValues[h] = rec.Value
+	}
+
+	before := s.Bytes()
+	stats, err := s.GC(GCPolicy{TTL: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped != 6 || stats.Live != 6 || !stats.Compacted {
+		t.Errorf("stats = %+v, want 6 dropped / 6 live / compacted", stats)
+	}
+	if stats.ReclaimedBytes <= 0 || s.Bytes() >= before {
+		t.Errorf("no space reclaimed: before=%d after=%d stats=%+v", before, s.Bytes(), stats)
+	}
+	for _, h := range old {
+		if s.Has(h) {
+			t.Errorf("expired record %s still indexed", h)
+		}
+	}
+	for _, h := range young {
+		rec, ok, err := s.Get(h)
+		if !ok || err != nil {
+			t.Fatalf("live record %s lost: %v, %v", h, ok, err)
+		}
+		if !bytes.Equal(rec.Value, wantValues[h]) {
+			t.Errorf("live record %s not bit-identical after compaction", h)
+		}
+	}
+
+	// Idempotent second pass and durable across reload.
+	stats, err = s.GC(GCPolicy{TTL: 24 * time.Hour})
+	if err != nil || stats.Dropped != 0 {
+		t.Errorf("second pass: %+v, %v", stats, err)
+	}
+	if err := s.Put("fresh", nil, cellVal{N: 1}); err != nil {
+		t.Fatalf("post-GC append: %v", err)
+	}
+	s.Close()
+	s2, err := OpenOptions(dir, Options{Now: clock.Now, Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got != 7 {
+		t.Errorf("reloaded %d records, want 7", got)
+	}
+	if s2.Skipped() != 0 {
+		t.Errorf("Skipped() = %d after GC+reload, want 0", s2.Skipped())
+	}
+	for _, h := range young {
+		rec, ok, err := s2.Get(h)
+		if !ok || err != nil || !bytes.Equal(rec.Value, wantValues[h]) {
+			t.Errorf("record %s damaged across GC+reload: %v, %v", h, ok, err)
+		}
+	}
+}
+
+// TestGCMaxBytes: with no TTL, the size budget expires oldest-first until
+// the live corpus fits.
+func TestGCMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	s, err := OpenOptions(dir, Options{Now: clock.Now, Logf: quiet, SegmentMaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var hashes []string
+	for i := 0; i < 20; i++ {
+		hashes = append(hashes, mustPut(t, s, i))
+		clock.Advance(time.Minute) // distinct ages for oldest-first order
+	}
+	budget := s.Bytes() / 2
+	stats, err := s.GC(GCPolicy{MaxBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped == 0 || stats.Dropped == 20 {
+		t.Fatalf("dropped %d of 20, want some-but-not-all", stats.Dropped)
+	}
+	// Survivors must be the youngest records (a contiguous suffix).
+	for i, h := range hashes {
+		if got, want := s.Has(h), i >= stats.Dropped; got != want {
+			t.Errorf("record %d: Has = %v, want %v (dropped=%d)", i, got, want, stats.Dropped)
+		}
+	}
+	if s.Bytes() > budget+512 { // + append-segment slack
+		t.Errorf("store still %d bytes after GC to %d", s.Bytes(), budget)
+	}
+}
+
+// TestGCCrashWindows walks the compaction protocol's crash points: a
+// leftover .tmp is invisible, and a crash between rename and removal
+// (simulated with an injected Remove fault) leaves a store that opens
+// clean, serves every live record, and sheds the stragglers next pass.
+func TestGCCrashWindows(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	open := func(fs FS) *Store {
+		s, err := OpenOptions(dir, Options{Now: clock.Now, Logf: quiet, SegmentMaxBytes: 256, FS: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	s := open(nil)
+	var old, young []string
+	for i := 0; i < 6; i++ {
+		old = append(old, mustPut(t, s, i))
+	}
+	clock.Advance(48 * time.Hour)
+	for i := 100; i < 104; i++ {
+		young = append(young, mustPut(t, s, i))
+	}
+	s.Close()
+
+	// Crash window A: compaction died before its rename; the .tmp must be
+	// ignored by the glob and the store unharmed.
+	if err := os.WriteFile(filepath.Join(dir, "seg-000001.jsonl.tmp"),
+		[]byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s = open(nil)
+	if s.Len() != 10 || s.Skipped() != 0 {
+		t.Fatalf("leftover .tmp perturbed recovery: len=%d skipped=%d", s.Len(), s.Skipped())
+	}
+
+	// Crash window B: every Remove fails (as if the process died right
+	// after the rename commit point). GC must report the fault but leave
+	// a consistent store.
+	s.Close()
+	plane := faultinject.NewPlane().Rule(faultinject.SiteStoreRemove, faultinject.OpErr, 1, 0, 0)
+	s = open(&FaultFS{Plane: plane})
+	if _, err := s.GC(GCPolicy{TTL: 24 * time.Hour}); err == nil {
+		t.Fatal("GC with failing removes reported success")
+	}
+	for _, h := range young {
+		if _, ok, err := s.Get(h); !ok || err != nil {
+			t.Fatalf("live record %s unreadable after faulted GC: %v, %v", h, ok, err)
+		}
+	}
+	s.Close()
+
+	// Reopen without faults: stale segments hold duplicates (ignored) and
+	// expired records (resurrected — GC is at-least-once); a second pass
+	// sheds them for good.
+	s = open(nil)
+	for _, h := range young {
+		if !s.Has(h) {
+			t.Fatalf("live record %s lost across crash-window reopen", h)
+		}
+	}
+	if _, err := s.GC(GCPolicy{TTL: 24 * time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range old {
+		if s.Has(h) {
+			t.Errorf("expired record %s survived the follow-up pass", h)
+		}
+	}
+	s.Close()
+
+	s = open(nil)
+	defer s.Close()
+	if got := s.Len(); got != len(young) {
+		t.Errorf("final store has %d records, want %d", got, len(young))
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	for _, n := range names {
+		if strings.Contains(n, ".tmp") {
+			t.Errorf("glob picked up temp file %s", n)
+		}
+	}
+}
+
+// TestFaultedPutRecovery: injected write/sync faults fail Put loudly, and
+// whatever half-written bytes they leave behind are recovered away on the
+// next open — acknowledged records only, bit-identical.
+func TestFaultedPutRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	// Torn writes: every write persists only a prefix, then errors.
+	plane := faultinject.NewPlane().Rule(faultinject.SiteStoreWrite, faultinject.OpShort, 1, 0, 0)
+	s, err := OpenOptions(dir, Options{Logf: quiet, FS: &FaultFS{Plane: plane}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("deadbeef", nil, cellVal{N: 1}); err == nil {
+		t.Fatal("torn write acknowledged")
+	}
+	s.Close()
+
+	s, err = OpenOptions(dir, Options{Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("unacknowledged record surfaced: len=%d", s.Len())
+	}
+	h := mustPut(t, s, 7)
+
+	// Fsync failures: the write may land but must not be acknowledged.
+	s.Close()
+	plane = faultinject.NewPlane().Rule(faultinject.SiteStoreSync, faultinject.OpErr, 1, 0, 0)
+	s, err = OpenOptions(dir, Options{Logf: quiet, FS: &FaultFS{Plane: plane}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("cafebabe", nil, cellVal{N: 2}); err == nil {
+		t.Fatal("unsynced write acknowledged")
+	}
+	s.Close()
+
+	s, err = OpenOptions(dir, Options{Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok, err := s.Get(h); !ok || err != nil {
+		t.Errorf("acknowledged record lost under fault injection: %v, %v", ok, err)
+	}
+}
+
+// TestGetDuringGC hammers reads while GC compacts underneath them; the
+// retry path must keep every live record readable throughout.
+func TestGetDuringGC(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	s, err := OpenOptions(dir, Options{Now: clock.Now, Logf: quiet, SegmentMaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var old, young []string
+	for i := 0; i < 20; i++ {
+		old = append(old, mustPut(t, s, i))
+	}
+	clock.Advance(48 * time.Hour)
+	for i := 100; i < 120; i++ {
+		young = append(young, mustPut(t, s, i))
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h := young[i%len(young)]
+				if _, ok, err := s.Get(h); !ok || err != nil {
+					t.Errorf("Get(%s) during GC: %v, %v", h, ok, err)
+					return
+				}
+			}
+		}()
+	}
+	for pass := 0; pass < 10; pass++ {
+		if _, err := s.GC(GCPolicy{TTL: 24 * time.Hour}); err != nil {
+			t.Errorf("GC pass %d: %v", pass, err)
+		}
+		// Churn more writes so later passes have work.
+		for i := 0; i < 5; i++ {
+			mustPut(t, s, 1000+pass*10+i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestGCPolicyEnabled pins the zero-value-means-disabled contract leakd's
+// GC loop relies on.
+func TestGCPolicyEnabled(t *testing.T) {
+	if (GCPolicy{}).Enabled() {
+		t.Error("zero policy reports enabled")
+	}
+	if !(GCPolicy{TTL: time.Hour}).Enabled() || !(GCPolicy{MaxBytes: 1}).Enabled() {
+		t.Error("non-zero policy reports disabled")
+	}
+}
+
+// TestSegSeq pins segment-name parsing (monotonic numbering survives GC
+// removing low-numbered segments).
+func TestSegSeq(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		seq  int
+		ok   bool
+	}{
+		{"seg-000001.jsonl", 1, true},
+		{"/x/y/seg-000042.jsonl", 42, true},
+		{"meta.jsonl", 0, false},
+		{"seg-.jsonl", 0, false},
+	} {
+		seq, ok := segSeq(tc.path)
+		if seq != tc.seq || ok != tc.ok {
+			t.Errorf("segSeq(%q) = %d, %v; want %d, %v", tc.path, seq, ok, tc.seq, tc.ok)
+		}
+	}
+}
+
+// TestMonotonicSegmentNumbering: after GC removes old segments, new
+// rotations must not reuse their numbers (stale files from a crash could
+// otherwise collide with fresh ones).
+func TestMonotonicSegmentNumbering(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	s, err := OpenOptions(dir, Options{Now: clock.Now, Logf: quiet, SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		mustPut(t, s, i)
+	}
+	clock.Advance(48 * time.Hour)
+	if _, err := s.GC(GCPolicy{TTL: 24 * time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	// Force several rotations post-GC and make sure nothing collides.
+	for i := 100; i < 120; i++ {
+		mustPut(t, s, i)
+	}
+	s.Close()
+	s2, err := OpenOptions(dir, Options{Now: clock.Now, Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got != 20 {
+		t.Errorf("reloaded %d records, want 20", got)
+	}
+	if s2.Skipped() != 0 {
+		t.Errorf("Skipped() = %d, want 0", s2.Skipped())
+	}
+}

@@ -8,34 +8,50 @@
 //
 // # On-disk layout
 //
-//	<dir>/seg-000001.jsonl   result segments: {"h":..,"k":..,"v":..} lines
-//	<dir>/seg-000002.jsonl   (appended; rotated at SegmentMaxBytes)
+//	<dir>/seg-000001.jsonl   result segments: {"h":..,"k":..,"v":..,"t":..}
+//	<dir>/seg-000002.jsonl   lines (appended; rotated at SegmentMaxBytes)
 //	<dir>/meta.jsonl         meta segment: {"m":..,"v":..} lines, last wins
 //
 // Segments are append-only JSON lines, synced per record like the harness
 // checkpoint, so a crash loses at most the record being written. Open
-// rebuilds the in-memory index by scanning the segments; a torn tail on
-// the last segment is truncated away, and a corrupt region inside an older
-// segment skips the remainder of that segment only (the index keeps every
-// record before the damage, and later segments are unaffected).
+// rebuilds the in-memory index by scanning the segments. Damage is
+// handled per record, not per segment: a complete line that fails to
+// parse is quarantined — counted, logged, and skipped, with every valid
+// record before and after it kept — while an incomplete final line is a
+// torn write of a never-acknowledged record and is truncated from the
+// append segment so new writes start on a clean boundary.
 //
 // Values are not held in memory: the index maps hash -> (segment, offset,
 // length) and Get reads the record back with one pread, so the store's
 // resident size is bounded by the index, not the corpus.
+//
+// Growth is bounded by GC (see gc.go): records carry a write timestamp,
+// and crash-safe compaction rewrites live records into a fresh segment
+// before atomically renaming it into place.
+//
+// All file I/O is routed through the FS interface (see fs.go) so the
+// chaos suite can inject disk faults at every operation.
 package store
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
+	"unicode/utf8"
+
+	"hotleakage/internal/obs"
 )
 
 // CanonicalHash hashes v's canonical JSON form: the value is marshalled,
@@ -70,11 +86,14 @@ func Canonicalize(doc []byte) ([]byte, error) {
 	return canon, nil
 }
 
-// segRecord is the on-disk framing of one result line.
+// segRecord is the on-disk framing of one result line. T is the write
+// time (unix seconds), the input to TTL GC; records from before it
+// existed decode as T=0 and so are the first to expire.
 type segRecord struct {
 	Hash  string          `json:"h"`
 	Key   json.RawMessage `json:"k,omitempty"`
 	Value json.RawMessage `json:"v"`
+	T     int64           `json:"t,omitempty"`
 }
 
 // metaRecord is the on-disk framing of one meta-segment line.
@@ -97,13 +116,28 @@ type loc struct {
 	seg    int // index into Store.segs
 	offset int64
 	length int64
+	t      int64 // write time, unix seconds
 }
 
 // segment is one open result file.
 type segment struct {
 	path string
-	f    *os.File
+	f    File
 	size int64
+}
+
+// Options configures OpenOptions beyond the defaults Open uses.
+type Options struct {
+	// FS routes the store's file I/O; nil means OSFS.
+	FS FS
+	// SegmentMaxBytes rotates the append segment once it grows past this
+	// size; 0 means DefaultSegmentMaxBytes.
+	SegmentMaxBytes int64
+	// Now supplies write timestamps (and the GC clock); nil means
+	// time.Now. Tests inject a fake clock to exercise TTL expiry.
+	Now func() time.Time
+	// Logf receives quarantine and GC log lines; nil means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // Store is the content-addressed result store. Safe for concurrent use.
@@ -114,36 +148,69 @@ type Store struct {
 	// size (default 64 MiB). Mutate only before concurrent use.
 	SegmentMaxBytes int64
 
-	mu      sync.Mutex
-	segs    []*segment
-	index   map[string]loc
-	meta    map[string]json.RawMessage
-	metaF   *os.File
-	skipped int // records lost to corruption at open time
-	closed  bool
+	fs   FS
+	now  func() time.Time
+	logf func(format string, args ...any)
+
+	mu          sync.Mutex
+	segs        []*segment
+	index       map[string]loc
+	meta        map[string]json.RawMessage
+	metaF       File
+	nextSeq     int // sequence number for the next rotated segment
+	torn        int // incomplete final lines found at open time
+	quarantined int // corrupt complete lines skipped at open time
+	closed      bool
 }
 
 // DefaultSegmentMaxBytes is the rotation threshold for result segments.
 const DefaultSegmentMaxBytes = 64 << 20
 
+var obsQuarantined = obs.Default.Counter(obs.MetricStoreQuarantined)
+
 // Open opens (creating if necessary) the store rooted at dir and rebuilds
 // the index from its segments.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenOptions(dir, Options{})
+}
+
+// OpenOptions is Open with explicit wiring — a fault-injecting FS, a test
+// clock, a capture logger.
+func OpenOptions(dir string, o Options) (*Store, error) {
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	if o.SegmentMaxBytes <= 0 {
+		o.SegmentMaxBytes = DefaultSegmentMaxBytes
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	if err := o.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
 		dir:             dir,
-		SegmentMaxBytes: DefaultSegmentMaxBytes,
+		SegmentMaxBytes: o.SegmentMaxBytes,
+		fs:              o.FS,
+		now:             o.Now,
+		logf:            o.Logf,
 		index:           make(map[string]loc),
 		meta:            make(map[string]json.RawMessage),
+		nextSeq:         1,
 	}
-	names, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	names, err := s.fs.Glob(filepath.Join(dir, "seg-*.jsonl"))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	sort.Strings(names) // zero-padded sequence numbers sort chronologically
 	for i, name := range names {
+		if seq, ok := segSeq(name); ok && seq >= s.nextSeq {
+			s.nextSeq = seq + 1
+		}
 		if err := s.openSegment(name, i == len(names)-1); err != nil {
 			s.closeAll()
 			return nil, err
@@ -162,51 +229,80 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
-// openSegment scans one segment into the index. last marks the final
-// (append) segment: a torn tail there is truncated so later appends start
-// on a clean line boundary; corruption in an older, sealed segment only
-// skips that segment's remainder.
+// segSeq extracts the sequence number from a segment path.
+func segSeq(path string) (int, bool) {
+	base := filepath.Base(path)
+	base = strings.TrimPrefix(base, "seg-")
+	base = strings.TrimSuffix(base, ".jsonl")
+	n, err := strconv.Atoi(base)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// openSegment scans one segment into the index, quarantining per record:
+// a complete line that fails to parse is counted and skipped, and the
+// scan continues — records after the damage survive. An incomplete final
+// line is a torn write of a record nobody was ever promised (Put syncs
+// before acknowledging); on the append segment (last) it is truncated
+// away so the next append starts a valid line.
 func (s *Store) openSegment(path string, last bool) error {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	segIdx := len(s.segs)
-	var good int64 // offset just past the last well-formed record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	for sc.Scan() {
-		line := sc.Bytes()
-		var rec segRecord
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Hash == "" || rec.Value == nil {
-			// Unparseable or incomplete record: everything from here to
-			// the end of this segment is untrusted.
+	br := bufio.NewReaderSize(f, 1<<20)
+	var pos int64 // offset just past the last complete line
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			if len(line) > 0 {
+				// Torn final line: no trailing newline, so the write that
+				// produced it never completed (and was never acked).
+				s.torn++
+				s.logf("store: dropping torn tail of %s (%d bytes at offset %d)",
+					filepath.Base(path), len(line), pos)
+				if last {
+					if terr := f.Truncate(pos); terr != nil {
+						f.Close()
+						return fmt.Errorf("store: truncate torn tail of %s: %w", path, terr)
+					}
+				}
+			}
 			break
 		}
-		if _, dup := s.index[rec.Hash]; !dup {
-			s.index[rec.Hash] = loc{seg: segIdx, offset: good, length: int64(len(line))}
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("store: scan %s: %w", path, err)
 		}
-		good += int64(len(line)) + 1 // newline
+		body := bytes.TrimSuffix(line, []byte("\n"))
+		var rec segRecord
+		// Records are json.Marshal output, which is always valid UTF-8;
+		// an invalid byte is bit rot the (lenient) JSON decoder would
+		// otherwise let through silently.
+		if jerr := json.Unmarshal(body, &rec); jerr != nil || rec.Hash == "" || rec.Value == nil ||
+			!utf8.Valid(body) {
+			// Complete but unparseable: quarantine this record only.
+			s.quarantined++
+			obsQuarantined.Add(1)
+			s.logf("store: quarantined corrupt record in %s at offset %d (%d bytes)",
+				filepath.Base(path), pos, len(body))
+			pos += int64(len(line))
+			continue
+		}
+		if _, dup := s.index[rec.Hash]; !dup {
+			s.index[rec.Hash] = loc{seg: segIdx, offset: pos, length: int64(len(body)), t: rec.T}
+		}
+		pos += int64(len(line))
 	}
-	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
-		f.Close()
-		return fmt.Errorf("store: scan %s: %w", path, err)
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	size := st.Size()
-	if good < size {
-		s.skipped++
-		size = good
-		if last {
-			// Drop the torn tail so the next append starts a valid line.
-			if err := f.Truncate(good); err != nil {
-				f.Close()
-				return fmt.Errorf("store: truncate torn tail of %s: %w", path, err)
-			}
+	size := pos
+	if !last {
+		// A sealed segment keeps its torn bytes on disk (compaction will
+		// shed them); account its true size for GC arithmetic.
+		if st, err := f.Stat(); err == nil {
+			size = st.Size()
 		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
@@ -221,7 +317,7 @@ func (s *Store) openSegment(path string, last bool) error {
 // tail is dropped) and leaves the file open for appends.
 func (s *Store) loadMeta() error {
 	path := filepath.Join(s.dir, "meta.jsonl")
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -252,14 +348,17 @@ func (s *Store) loadMeta() error {
 	return nil
 }
 
-// rotateLocked opens a fresh append segment. Caller holds s.mu (or has
-// exclusive access during Open).
+// rotateLocked opens a fresh append segment under the next monotonic
+// sequence number (sequence numbers are never reused, even after GC
+// removes old segments). Caller holds s.mu (or has exclusive access
+// during Open).
 func (s *Store) rotateLocked() error {
-	path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.jsonl", len(s.segs)+1))
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.jsonl", s.nextSeq))
+	f, err := s.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.nextSeq++
 	s.segs = append(s.segs, &segment{path: path, f: f})
 	return nil
 }
@@ -274,11 +373,35 @@ func (s *Store) Len() int {
 	return len(s.index)
 }
 
-// Skipped returns how many records were lost to corruption at open time.
+// Bytes returns the total size of the result segments on disk.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesLocked()
+}
+
+func (s *Store) bytesLocked() int64 {
+	var total int64
+	for _, seg := range s.segs {
+		total += seg.size
+	}
+	return total
+}
+
+// Skipped returns how many records were lost to corruption at open time:
+// torn tails plus quarantined records.
 func (s *Store) Skipped() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.skipped
+	return s.torn + s.quarantined
+}
+
+// Quarantined returns how many complete-but-corrupt records open-time
+// recovery skipped (a subset of Skipped; the rest were torn tails).
+func (s *Store) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
 }
 
 // Has reports whether hash is stored.
@@ -289,26 +412,35 @@ func (s *Store) Has(hash string) bool {
 	return ok
 }
 
-// Get returns the stored record for hash.
+// Get returns the stored record for hash. The read happens outside the
+// lock; if a concurrent GC compacted the segment out from under it (the
+// file handle reads as closed), one retry against the rebuilt index
+// resolves the record at its new location.
 func (s *Store) Get(hash string) (Record, bool, error) {
-	s.mu.Lock()
-	l, ok := s.index[hash]
-	if !ok || s.closed {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		s.mu.Lock()
+		l, ok := s.index[hash]
+		if !ok || s.closed {
+			s.mu.Unlock()
+			return Record{}, false, nil
+		}
+		f := s.segs[l.seg].f
 		s.mu.Unlock()
-		return Record{}, false, nil
-	}
-	f := s.segs[l.seg].f
-	s.mu.Unlock()
 
-	buf := make([]byte, l.length)
-	if _, err := f.ReadAt(buf, l.offset); err != nil {
-		return Record{}, false, fmt.Errorf("store: read %s: %w", hash, err)
+		buf := make([]byte, l.length)
+		if _, err := f.ReadAt(buf, l.offset); err != nil {
+			lastErr = fmt.Errorf("store: read %s: %w", hash, err)
+			continue
+		}
+		var rec segRecord
+		if err := json.Unmarshal(buf, &rec); err != nil {
+			lastErr = fmt.Errorf("store: decode %s: %w", hash, err)
+			continue
+		}
+		return Record{Hash: rec.Hash, Key: rec.Key, Value: rec.Value}, true, nil
 	}
-	var rec segRecord
-	if err := json.Unmarshal(buf, &rec); err != nil {
-		return Record{}, false, fmt.Errorf("store: decode %s: %w", hash, err)
-	}
-	return Record{Hash: rec.Hash, Key: rec.Key, Value: rec.Value}, true, nil
+	return Record{}, false, lastErr
 }
 
 // Put persists a record under hash. key (may be nil) is the canonical
@@ -331,7 +463,8 @@ func (s *Store) Put(hash string, key, value any) error {
 	if err != nil {
 		return fmt.Errorf("store: marshal value for %s: %w", hash, err)
 	}
-	line, err := json.Marshal(segRecord{Hash: hash, Key: kb, Value: vb})
+	t := s.now().Unix()
+	line, err := json.Marshal(segRecord{Hash: hash, Key: kb, Value: vb, T: t})
 	if err != nil {
 		return fmt.Errorf("store: frame %s: %w", hash, err)
 	}
@@ -358,7 +491,7 @@ func (s *Store) Put(hash string, key, value any) error {
 	if err := seg.f.Sync(); err != nil {
 		return fmt.Errorf("store: sync %s: %w", hash, err)
 	}
-	s.index[hash] = loc{seg: len(s.segs) - 1, offset: seg.size, length: int64(len(line)) - 1}
+	s.index[hash] = loc{seg: len(s.segs) - 1, offset: seg.size, length: int64(len(line)) - 1, t: t}
 	seg.size += int64(len(line))
 	return nil
 }
