@@ -210,7 +210,10 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return nil
 		}
 		if ctx.Err() != nil {
-			// The caller gave up; not the daemon's fault.
+			// The caller gave up; not the daemon's fault, so no breaker
+			// penalty. If this call happened to be the half-open probe, its
+			// outcome is simply unknown — Allow's half-open timeout admits
+			// a replacement probe after the next cooldown.
 			return err
 		}
 		var se *StatusError

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -167,6 +168,91 @@ func TestBreakerHalfOpenSingleProbe(t *testing.T) {
 	b.Record(true)
 	if !b.Allow() || !b.Allow() {
 		t.Error("successful probe did not close the circuit")
+	}
+}
+
+// TestBreakerHalfOpenProbeLostReArms: a probe whose outcome is never
+// recorded (e.g. its caller's ctx canceled mid-flight) must not wedge the
+// circuit in half-open forever — after a further cooldown the next caller
+// becomes the new probe.
+func TestBreakerHalfOpenProbeLostReArms(t *testing.T) {
+	now := time.Now()
+	b := &Breaker{Threshold: 1, Cooldown: time.Second, now: func() time.Time { return now }}
+	b.Record(false) // open
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown did not admit a probe")
+	}
+	// The probe's outcome is never recorded. Immediately after, callers
+	// still fast-fail; after a further cooldown a new probe is admitted.
+	if b.Allow() {
+		t.Fatal("second caller admitted while the probe could still report back")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("lost probe wedged the breaker: no re-probe after a further cooldown")
+	}
+	b.Record(true)
+	if !b.Allow() || !b.Allow() {
+		t.Error("successful replacement probe did not close the circuit")
+	}
+}
+
+// TestClientCanceledProbeDoesNotWedgeBreaker is the end-to-end version:
+// the daemon goes down and the breaker opens; the half-open probe is
+// canceled by its own ctx mid-flight (so do() returns without recording
+// an outcome); once the daemon recovers, calls succeed again instead of
+// fast-failing with ErrUnavailable forever.
+func TestClientCanceledProbeDoesNotWedgeBreaker(t *testing.T) {
+	var healthy, hang atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hang.Load() {
+			<-r.Context().Done() // hold the probe until its caller gives up
+			return
+		}
+		if !healthy.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	now := time.Now()
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+	c := fastClient(ts.URL)
+	c.Breaker = &Breaker{Threshold: 2, Cooldown: time.Minute, now: clock}
+
+	// Open the breaker against a sick daemon.
+	if err := c.do(context.Background(), http.MethodGet, "/healthz", nil, nil); err == nil {
+		t.Fatal("sick daemon reported success")
+	}
+	if !errors.Is(c.do(context.Background(), http.MethodGet, "/healthz", nil, nil), ErrUnavailable) {
+		t.Fatal("breaker did not open")
+	}
+
+	// Cooldown elapses; the probe hangs and its ctx is canceled mid-flight.
+	hang.Store(true)
+	advance(2 * time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	cancel()
+	if err == nil {
+		t.Fatal("canceled probe reported success")
+	}
+
+	// The daemon recovers. Before the half-open timeout, calls fast-fail;
+	// after another cooldown the replacement probe closes the circuit.
+	hang.Store(false)
+	healthy.Store(true)
+	if !errors.Is(c.do(context.Background(), http.MethodGet, "/healthz", nil, nil), ErrUnavailable) {
+		t.Fatal("half-open breaker admitted a second caller before the probe timeout")
+	}
+	advance(2 * time.Minute)
+	if err := c.do(context.Background(), http.MethodGet, "/healthz", nil, nil); err != nil {
+		t.Fatalf("breaker never recovered after a canceled probe: %v", err)
 	}
 }
 

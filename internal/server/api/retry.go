@@ -81,8 +81,11 @@ var (
 
 // Breaker is a consecutive-failure circuit breaker with half-open
 // probing: Threshold straight failures open it, Allow fast-fails for
-// Cooldown, then exactly one probe is let through — its outcome closes
-// or re-opens the circuit. Safe for concurrent use.
+// Cooldown, then one probe is let through — its outcome closes or
+// re-opens the circuit. A probe whose outcome is never recorded (its
+// caller canceled mid-flight, say) does not wedge the half-open state:
+// after a further Cooldown the next caller becomes the new probe. Safe
+// for concurrent use.
 type Breaker struct {
 	// Threshold is the consecutive-failure count that opens the circuit
 	// (default 5). Cooldown is how long it stays open before a half-open
@@ -97,6 +100,7 @@ type Breaker struct {
 	state    int
 	fails    int
 	openedAt time.Time
+	probedAt time.Time // when the in-flight half-open probe was admitted
 }
 
 // NewBreaker builds a breaker with default tuning.
@@ -138,10 +142,20 @@ func (b *Breaker) Allow() bool {
 	case breakerOpen:
 		if b.clock().Sub(b.openedAt) >= b.cooldown() {
 			b.state = breakerHalfOpen
+			b.probedAt = b.clock()
 			return true // this caller is the probe
 		}
 		return false
 	default: // half-open: one probe already in flight
+		// If that probe's outcome never comes back — do() returns on ctx
+		// cancellation without calling Record — the state would otherwise
+		// have no exit and every future call would fast-fail forever.
+		// After a further cooldown, assume the probe is lost and admit a
+		// new one.
+		if b.clock().Sub(b.probedAt) >= b.cooldown() {
+			b.probedAt = b.clock()
+			return true
+		}
 		return false
 	}
 }

@@ -344,6 +344,125 @@ func TestFaultedPutRecovery(t *testing.T) {
 	}
 }
 
+// TestFailedAppendRepairKeepsStoreConsistent: after a failed append (torn
+// write, plain write error, or fsync failure) the store keeps serving and
+// writing — the exact state the degraded-complete server mode runs in —
+// so the failed record's debris must not shift later appends off their
+// indexed offsets: every later acknowledged record must Get back its own
+// bytes from the same open store AND survive reopen with nothing
+// quarantined.
+func TestFailedAppendRepairKeepsStoreConsistent(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		site  string
+		fault faultinject.OpFault
+	}{
+		{"torn_write", faultinject.SiteStoreWrite, faultinject.OpShort},
+		{"write_error", faultinject.SiteStoreWrite, faultinject.OpErr},
+		{"sync_error", faultinject.SiteStoreSync, faultinject.OpErr},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			plane := faultinject.NewPlane()
+			s, err := OpenOptions(dir, Options{Logf: quiet, FS: &FaultFS{Plane: plane}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := mustPut(t, s, 1)
+
+			plane.Rule(tc.site, tc.fault, 1, 0, 0) // every op at site faults
+			if err := s.Put("deadbeef", nil, cellVal{N: 2}); err == nil {
+				t.Fatal("faulted append acknowledged")
+			}
+			plane.Rule(tc.site, faultinject.OpNone, 1, 0, 0) // fault heals
+
+			var acked []string
+			acked = append(acked, before)
+			for i := 10; i < 14; i++ {
+				acked = append(acked, mustPut(t, s, i))
+			}
+			for _, h := range acked {
+				rec, ok, err := s.Get(h)
+				if err != nil || !ok {
+					t.Fatalf("Get(%s) = %v, %v from the still-open store", h, ok, err)
+				}
+				if rec.Hash != h {
+					t.Fatalf("Get(%s) served record %s: failed append shifted later offsets", h, rec.Hash)
+				}
+			}
+			s.Close()
+
+			s2, err := OpenOptions(dir, Options{Logf: quiet})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if got := s2.Skipped(); got != 0 {
+				t.Errorf("reopen skipped %d records; repair should leave clean boundaries", got)
+			}
+			for _, h := range acked {
+				var v cellVal
+				rec, ok, err := s2.Get(h)
+				if err != nil || !ok {
+					t.Errorf("acknowledged record %s lost at reopen: %v, %v", h, ok, err)
+					continue
+				}
+				if err := json.Unmarshal(rec.Value, &v); err != nil {
+					t.Errorf("acknowledged record %s corrupted at reopen: %v", h, err)
+				}
+			}
+			if s2.Has("deadbeef") {
+				t.Error("never-acknowledged record resurrected at reopen")
+			}
+		})
+	}
+}
+
+// TestFailedAppendRepairFailurePoisonsSegment: if the post-failure repair
+// itself fails (truncate also errors), the append segment must be
+// abandoned rather than appended past the damage — the next Put rotates
+// to a fresh segment and earlier records stay readable.
+func TestFailedAppendRepairFailurePoisonsSegment(t *testing.T) {
+	dir := t.TempDir()
+	plane := faultinject.NewPlane()
+	s, err := OpenOptions(dir, Options{Logf: quiet, FS: &FaultFS{Plane: plane}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mustPut(t, s, 1)
+
+	plane.Rule(faultinject.SiteStoreWrite, faultinject.OpShort, 1, 0, 0)
+	plane.Rule(faultinject.SiteStoreTruncate, faultinject.OpErr, 1, 0, 0)
+	if err := s.Put("deadbeef", nil, cellVal{N: 2}); err == nil {
+		t.Fatal("faulted append acknowledged")
+	}
+	plane.Rule(faultinject.SiteStoreWrite, faultinject.OpNone, 1, 0, 0)
+	plane.Rule(faultinject.SiteStoreTruncate, faultinject.OpNone, 1, 0, 0)
+
+	after := mustPut(t, s, 3)
+	for _, h := range []string{before, after} {
+		if rec, ok, err := s.Get(h); err != nil || !ok || rec.Hash != h {
+			t.Fatalf("Get(%s) = %v, %v from poisoned-segment store", h, ok, err)
+		}
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if len(segs) < 2 {
+		t.Errorf("unrepairable append segment was not rotated away: %v", segs)
+	}
+	s.Close()
+
+	s2, err := OpenOptions(dir, Options{Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, h := range []string{before, after} {
+		if _, ok, err := s2.Get(h); err != nil || !ok {
+			t.Errorf("acknowledged record %s lost at reopen: %v, %v", h, ok, err)
+		}
+	}
+}
+
 // TestGetDuringGC hammers reads while GC compacts underneath them; the
 // retry path must keep every live record readable throughout.
 func TestGetDuringGC(t *testing.T) {

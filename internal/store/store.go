@@ -119,11 +119,14 @@ type loc struct {
 	t      int64 // write time, unix seconds
 }
 
-// segment is one open result file.
+// segment is one open result file. poisoned marks an append segment whose
+// post-failure repair failed: its on-disk tail no longer lines up with
+// size, so no further appends may land in it (see repairAppendLocked).
 type segment struct {
-	path string
-	f    File
-	size int64
+	path     string
+	f        File
+	size     int64
+	poisoned bool
 }
 
 // Options configures OpenOptions beyond the defaults Open uses.
@@ -438,6 +441,13 @@ func (s *Store) Get(hash string) (Record, bool, error) {
 			lastErr = fmt.Errorf("store: decode %s: %w", hash, err)
 			continue
 		}
+		if rec.Hash != hash {
+			// A content-addressed store must never pass off a record that
+			// parses but isn't the one asked for — this is index/file
+			// misalignment or bit rot, and an error, not a result.
+			lastErr = fmt.Errorf("store: get %s: read record %s (index/file misalignment)", hash, rec.Hash)
+			continue
+		}
 		return Record{Hash: rec.Hash, Key: rec.Key, Value: rec.Value}, true, nil
 	}
 	return Record{}, false, lastErr
@@ -479,21 +489,48 @@ func (s *Store) Put(hash string, key, value any) error {
 		return nil
 	}
 	seg := s.segs[len(s.segs)-1]
-	if seg.size > 0 && seg.size+int64(len(line)) > s.SegmentMaxBytes {
+	if seg.poisoned || (seg.size > 0 && seg.size+int64(len(line)) > s.SegmentMaxBytes) {
 		if err := s.rotateLocked(); err != nil {
 			return err
 		}
 		seg = s.segs[len(s.segs)-1]
 	}
 	if _, err := seg.f.Write(line); err != nil {
+		s.repairAppendLocked(seg)
 		return fmt.Errorf("store: append %s: %w", hash, err)
 	}
 	if err := seg.f.Sync(); err != nil {
+		s.repairAppendLocked(seg)
 		return fmt.Errorf("store: sync %s: %w", hash, err)
 	}
 	s.index[hash] = loc{seg: len(s.segs) - 1, offset: seg.size, length: int64(len(line)) - 1, t: t}
 	seg.size += int64(len(line))
 	return nil
+}
+
+// repairAppendLocked puts the append segment back on a record boundary
+// after a failed append. The failed record was never acknowledged, so
+// losing it is fine — but its orphaned or torn bytes sit past seg.size
+// with the file offset advanced beyond them, so without repair the next
+// successful Put would land after the debris while being indexed at
+// seg.size: Get would serve wrong bytes for an acknowledged record, and
+// the debris could merge with the new line into one unparseable record
+// that reopen quarantines. Truncating to seg.size and seeking back
+// restores the offset invariant the index depends on. If the repair
+// itself fails the segment is poisoned instead: its indexed records stay
+// readable (ReadAt is offset-addressed), but the next Put rotates to a
+// fresh segment rather than append past the damage.
+func (s *Store) repairAppendLocked(seg *segment) {
+	err := seg.f.Truncate(seg.size)
+	if err == nil {
+		_, err = seg.f.Seek(seg.size, io.SeekStart)
+	}
+	if err == nil {
+		return
+	}
+	seg.poisoned = true
+	s.logf("store: poisoning append segment %s (repair after failed append: %v); will rotate",
+		filepath.Base(seg.path), err)
 }
 
 // PutMeta stores a named non-cell document (e.g. the harness cost model)
