@@ -6,7 +6,7 @@ GO ?= go
 #   make bench BASELINE_INSTR_S=...
 BASELINE_INSTR_S ?= 1990000
 
-.PHONY: build test verify smoke-daemon chaos bench bench-throughput bench-sweep bench-all clean
+.PHONY: build test verify smoke-daemon chaos bench bench-throughput bench-sweep bench-batch bench-all clean
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,7 @@ bench-throughput:
 	  END { \
 	    printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n", date, commit; \
 	    printf "  \"benchmark\": \"BenchmarkSimulatorThroughput\",\n"; \
+	    printf "  \"sample_rule\": \"compare medians; individual samples >15%% below the run median are shared-host load artifacts, not code regressions (see EXPERIMENTS.md, Simulator throughput tracking)\",\n"; \
 	    printf "  \"instr_per_s\": ["; \
 	    for (i = 0; i < n; i++) printf "%s%s", (i ? ", " : ""), v[i]; \
 	    printf "],\n  \"baseline_commit\": \"b1ceed6\",\n"; \
@@ -60,10 +61,11 @@ bench-throughput:
 	cat BENCH_throughput.json
 
 # Sweep-level throughput: three samples of each SuiteSweep variant (full
-# path / no trace cache / one worker), recorded in BENCH_sweep.json. The
-# variants come from one interleaved invocation on one host, so the
-# full-vs-disabled ratios are a like-for-like measurement of the trace
-# cache and the scheduler.
+# batched path / scalar supervisor path / no trace cache / one worker),
+# recorded in BENCH_sweep.json. The variants come from one interleaved
+# invocation on one host, so the full-vs-disabled ratios are a
+# like-for-like measurement of the batch executor, the trace cache and
+# the scheduler.
 bench-sweep:
 	$(GO) test -run '^$$' -bench=SuiteSweep -benchtime=1x -count=3 . > bench_sweep.tmp || { cat bench_sweep.tmp; rm -f bench_sweep.tmp; exit 1; }
 	cat bench_sweep.tmp
@@ -78,13 +80,40 @@ bench-sweep:
 	  END { \
 	    printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n", date, commit; \
 	    printf "  \"benchmark\": \"BenchmarkSuiteSweep\",\n"; \
-	    printf "  \"methodology\": \"one full Figure 8/9 regeneration (33 cells) per iteration; variants interleaved in one invocation on one host, 3 samples each; see EXPERIMENTS.md, Sweep throughput tracking\",\n"; \
+	    printf "  \"methodology\": \"one full Figure 8/9 regeneration (33 cells) per iteration; full = batched lockstep execution (default), scalar = per-cell supervisor path; variants interleaved in one invocation on one host, 3 samples each; see EXPERIMENTS.md, Sweep throughput tracking\",\n"; \
 	    printf "  \"instr_per_s\": {"; \
 	    for (i = 0; i < no; i++) printf "%s\n    \"%s\": [%s]", (i ? "," : ""), ord[i], v[ord[i]]; \
 	    printf "\n  }\n}\n"; \
 	  }' bench_sweep.tmp > BENCH_sweep.json
 	rm -f bench_sweep.tmp
 	cat BENCH_sweep.json
+
+# Batched-vs-scalar regression guard: run the two SuiteSweep variants
+# interleaved and fail if the batched path is slower than the scalar
+# path it replaced (median of 3 samples each). CI runs this as its bench
+# smoke; it is deliberately cheap (~1 min) rather than statistically
+# deep — BENCH_sweep.json is the longitudinal record.
+bench-batch:
+	$(GO) test -run '^$$' -bench='SuiteSweep/(full|scalar)' -benchtime=1x -count=3 . > bench_batch.tmp || { cat bench_batch.tmp; rm -f bench_batch.tmp; exit 1; }
+	cat bench_batch.tmp
+	awk ' \
+	  /^BenchmarkSuiteSweep\// { \
+	    name = $$1; sub(/^BenchmarkSuiteSweep\//, "", name); sub(/-[0-9]+$$/, "", name); \
+	    for (i = 2; i <= NF; i++) if ($$i == "instr/s") { c[name]++; v[name, c[name]] = $$(i-1) } \
+	  } \
+	  function med(name,   n, a, b, t, i, j) { \
+	    n = c[name]; \
+	    for (i = 1; i <= n; i++) a[i] = v[name, i] + 0; \
+	    for (i = 1; i <= n; i++) for (j = i + 1; j <= n; j++) \
+	      if (a[j] < a[i]) { t = a[i]; a[i] = a[j]; a[j] = t } \
+	    return a[int((n + 1) / 2)]; \
+	  } \
+	  END { \
+	    f = med("full"); s = med("scalar"); \
+	    printf "batched (full) median: %.0f instr/s\nscalar median:         %.0f instr/s\nratio: %.2fx\n", f, s, f / s; \
+	    if (f < s) { print "FAIL: batched sweep is slower than the scalar path"; exit 1 } \
+	  }' bench_batch.tmp || { rm -f bench_batch.tmp; exit 1; }
+	rm -f bench_batch.tmp
 
 # Every benchmark (figures, tables, ablations) at minimal iteration count.
 bench-all:

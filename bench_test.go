@@ -433,9 +433,11 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // Experiments and regenerates one full figure pair (every benchmark:
 // baseline + drowsy + gated), so the numbers include trace recording,
 // scheduling, simulation and evaluation. The sub-benchmarks isolate the
-// optimizations: "full" is the default path, "no-trace-cache" regenerates
-// every instruction stream live, and "serial" runs the same sweep on one
-// worker.
+// optimizations: "full" is the default path (lockstep batch execution off
+// one shared decoded front per benchmark group), "scalar" disables
+// batching and runs every cell through the per-cell supervisor path,
+// "no-trace-cache" regenerates every instruction stream live, and
+// "serial" runs the same sweep on one worker.
 func BenchmarkSuiteSweep(b *testing.B) {
 	sweep := func(b *testing.B, configure func(*sim.Experiments)) {
 		b.ReportAllocs()
@@ -458,6 +460,9 @@ func BenchmarkSuiteSweep(b *testing.B) {
 		b.ReportMetric(float64(executed), "cells")
 	}
 	b.Run("full", func(b *testing.B) { sweep(b, nil) })
+	b.Run("scalar", func(b *testing.B) {
+		sweep(b, func(e *sim.Experiments) { e.DisableBatch = true })
+	})
 	b.Run("no-trace-cache", func(b *testing.B) {
 		sweep(b, func(e *sim.Experiments) { e.DisableTraceCache = true })
 	})

@@ -53,6 +53,7 @@ func run() int {
 		serial     = flag.Bool("serial", false, "disable parallel simulation (same as -workers 1)")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = all CPUs; overrides -serial)")
 		noTrace    = flag.Bool("no-trace-cache", false, "disable the shared instruction-trace cache (slower; results identical)")
+		noBatch    = flag.Bool("no-batch", false, "disable lockstep batch execution of variant groups (slower; results identical)")
 		traceSpill = flag.String("trace-spill", "", "spill recorded traces to files in this directory instead of memory")
 		asCSV      = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
 		timeout    = flag.Duration("timeout", 0, "per-run deadline (e.g. 30s; 0 = none)")
@@ -90,6 +91,7 @@ func run() int {
 	e.Parallel = !*serial
 	e.Workers = *workers
 	e.DisableTraceCache = *noTrace
+	e.DisableBatch = *noBatch
 	e.TraceSpillDir = *traceSpill
 	e.Ctx = ctx
 	e.RunTimeout = *timeout

@@ -350,6 +350,22 @@ type Core struct {
 	// unit this cycle: the machine is stalled on structural hazards that
 	// clear by themselves next cycle, so the cycle is not skippable.
 	fuBlocked bool
+
+	// front, when non-nil, switches fetch into batch-replay mode: the
+	// instruction stream and predictor outcomes come from the shared
+	// precomputed records (see front.go) instead of Gen/Pred, and the
+	// recorded predictor-stat deltas accumulate in BP. frontPos is this
+	// lane's read position. Both are zeroed by build(), so Recycle always
+	// returns a live-mode core.
+	front    *Front
+	frontPos int
+
+	// BP mirrors bpred.Stats for a replaying core. On the live path the
+	// predictor itself counts; in replay mode the shared predictor ran once
+	// during Fill, so each lane reconstructs its own per-run stats from the
+	// recorded delta bits. ResetStats zeroes it alongside Stats, matching
+	// the scalar path's pred.ResetStats() at the warmup boundary.
+	BP bpred.Stats
 }
 
 // wheelSize is the wake wheel's span in cycles (power of two). Latencies
@@ -757,7 +773,7 @@ func (c *Core) Now() uint64 { return c.now }
 
 // ResetStats zeroes the core's counters (not its architectural state) so a
 // measurement phase can follow a warmup phase.
-func (c *Core) ResetStats() { c.Stats, c.obsPrev = Stats{}, Stats{} }
+func (c *Core) ResetStats() { c.Stats, c.obsPrev, c.BP = Stats{}, Stats{}, bpred.Stats{} }
 
 // commit retires up to CommitWidth oldest completed entries in order and
 // reports whether anything retired.
@@ -1000,6 +1016,9 @@ func (c *Core) dispatch(cycle uint64) bool {
 // whether any instruction was fetched. Stall bookkeeping alone does not
 // count as activity — the fast-forward replays it in bulk.
 func (c *Core) fetch(cycle uint64) bool {
+	if c.front != nil {
+		return c.fetchReplay(cycle)
+	}
 	if c.pendingBranch != 0 {
 		// Waiting on a mispredicted branch. Once it has issued, its
 		// resolution time is known and fetch can be scheduled.
@@ -1051,7 +1070,7 @@ func (c *Core) fetch(cycle uint64) bool {
 
 		if ins.Op.IsCTI() {
 			c.Stats.Branches++
-			misp, bubble := c.predictCTI(ins)
+			misp, bubble := predictCTI(c.Pred, ins)
 			if misp {
 				c.Stats.Mispredicts++
 				c.pendingBranch = seq
@@ -1078,20 +1097,22 @@ func (c *Core) fetch(cycle uint64) bool {
 
 // predictCTI runs the predictor for a control transfer. mispredict means a
 // wrong-path flush; bubble means a decode-supplied target (short stall).
-func (c *Core) predictCTI(ins *workload.Instr) (mispredict, bubble bool) {
+// Package-level so the batch front end (front.go) drives the identical
+// logic through the group's shared predictor.
+func predictCTI(p *bpred.Predictor, ins *workload.Instr) (mispredict, bubble bool) {
 	switch ins.Op {
 	case workload.OpBranch:
-		pr := c.Pred.Lookup(ins.PC)
-		return c.Pred.Update(ins.PC, pr, ins.Taken, ins.Target)
+		pr := p.Lookup(ins.PC)
+		return p.Update(ins.PC, pr, ins.Taken, ins.Target)
 	case workload.OpCall:
 		// Direct call: target known at decode; train the BTB and RAS.
-		c.Pred.PushRAS(ins.PC + 4)
-		pr := c.Pred.Lookup(ins.PC)
-		c.Pred.Update(ins.PC, pr, true, ins.Target)
+		p.PushRAS(ins.PC + 4)
+		pr := p.Lookup(ins.PC)
+		p.Update(ins.PC, pr, true, ins.Target)
 		return false, !pr.BTBHit
 	case workload.OpReturn:
 		// Return: mispredicted iff the RAS is wrong.
-		return c.Pred.PopRAS() != ins.Target, false
+		return p.PopRAS() != ins.Target, false
 	default: // OpJump: direct, decoded target
 		return false, true
 	}

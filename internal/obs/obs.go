@@ -331,6 +331,15 @@ const (
 	MetricServerPanics        = "server_handler_panics_total"
 	MetricWatchdogTimeouts    = "server_watchdog_timeouts_total"
 	MetricSweepsDegraded      = "server_sweeps_degraded_total"
+	// Batched lockstep execution (internal/sim): groups executed in
+	// lockstep, lanes (cells) those groups carried, cells that fell out of
+	// a batch back to the scalar supervisor path, and the most recent
+	// sweep's mean lanes-per-group occupancy in hundredths (e.g. 1450 =
+	// 14.5 lanes/group).
+	MetricBatchGroups         = "sim_batch_groups_total"
+	MetricBatchLanes          = "sim_batch_lanes_total"
+	MetricBatchScalarFallback = "sim_batch_scalar_fallback_total"
+	GaugeBatchLaneOccupancy   = "sim_batch_lane_occupancy_x100"
 )
 
 // Delta returns cur-prev saturating at cur when a counter source was reset

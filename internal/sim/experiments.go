@@ -36,6 +36,21 @@ var (
 // daemon to the local resolution ladder (RemoteFallback).
 var obsRemoteDegraded = obs.Default.Counter(obs.MetricRemoteDegraded)
 
+// Lockstep-batch outcome metrics: executed groups, the lanes they
+// carried, lanes bounced back to the scalar supervisor, and the last
+// sweep's mean occupancy (lanes per group, in hundredths). The
+// run-completion and checkpoint-hit counters are shared with the harness
+// (registration is idempotent by name), so progress/ETA math sees batch
+// lanes and scalar runs through one pair of counters.
+var (
+	obsBatchGroups    = obs.Default.Counter(obs.MetricBatchGroups)
+	obsBatchLanes     = obs.Default.Counter(obs.MetricBatchLanes)
+	obsBatchFallback  = obs.Default.Counter(obs.MetricBatchScalarFallback)
+	obsBatchOccupancy = obs.Default.Gauge(obs.GaugeBatchLaneOccupancy)
+	obsBatchRunsDone  = obs.Default.Counter(obs.MetricRunsCompleted)
+	obsBatchCkptHits  = obs.Default.Counter(obs.MetricCheckpointHits)
+)
+
 // DefaultInterval is the fixed decay interval used for the non-adaptive
 // figures. The paper chose "shorter decay intervals that — for our leakage
 // model — we found to give better energy savings"; 4K cycles plays that
@@ -104,6 +119,11 @@ type Experiments struct {
 	// runtime.GOMAXPROCS(0) when Parallel and 1 otherwise; an explicit
 	// value wins either way, so Workers=1 is equivalent to serial.
 	Workers int
+	// DisableBatch turns off lockstep batch execution and runs every cell
+	// through the scalar supervisor path (the pre-batch behaviour; results
+	// are bit-identical either way — the parity suite enforces it — so
+	// this is a debugging/benchmarking knob, not a correctness one).
+	DisableBatch bool
 	// DisableTraceCache turns off the shared instruction-trace cache and
 	// runs every cell from a live generator (the pre-cache behaviour; the
 	// results are bit-identical either way, so this is a
@@ -174,6 +194,14 @@ type Experiments struct {
 	storeHits int // runs served from the content-addressed store
 	remoted   int // runs delegated to a remote daemon
 	storeErr  error
+
+	// batchGroups / batchLanes count lockstep groups executed and the
+	// cells they carried; batchStates is the pool of per-goroutine batch
+	// scratch (front buffer, lane RunStates) reused across groups and
+	// runSpecs calls.
+	batchGroups int
+	batchLanes  int
+	batchStates []*BatchState
 
 	// traces is the shared instruction-trace cache, attached to every
 	// suite (nil when DisableTraceCache).
@@ -517,49 +545,51 @@ func (e *Experiments) runSpecs(specs []runSpec) error {
 		}
 	}
 
-	jobs := make([]harness.Job[RunResult], len(pending))
-	for i, sp := range pending {
-		jobs[i] = e.jobFor(sp)
-		jobs[i].Cost = e.costOf(sp)
-	}
-	results := sup.Run(e.ctx(), jobs)
+	// Lockstep batch phase: compatible cells execute in groups off one
+	// shared front. Cells the phase cannot (or could not) run — singleton
+	// groups, divergent configs, failed lanes — remain pending for the
+	// scalar supervisor path below, which owns retry/timeout semantics.
+	pending, completed, executedNow := e.runBatchPhase(pending)
 
-	type seed struct {
-		l2   int
-		name string
-		r    RunResult
-	}
-	var seeds []seed
-	type done struct {
-		sp runSpec
-		r  RunResult
-	}
-	var completed []done
-	batchExecuted := 0
-	e.mu.Lock()
-	for i, res := range results {
-		sp := pending[i]
-		if res.Err != nil {
-			e.failures[res.Key] = res.Err
-			continue
+	if len(pending) > 0 {
+		jobs := make([]harness.Job[RunResult], len(pending))
+		for i, sp := range pending {
+			jobs[i] = e.jobFor(sp)
+			jobs[i].Cost = e.costOf(sp)
 		}
-		e.runs[res.Key] = res.Value
-		completed = append(completed, done{sp, res.Value})
-		if res.FromCheckpoint {
-			e.resumed++
-		} else {
-			e.executed++
-			batchExecuted++
-			e.noteCostLocked(sp, res.Duration)
+		results := sup.Run(e.ctx(), jobs)
+
+		type seed struct {
+			l2   int
+			name string
+			r    RunResult
 		}
-		if sp.tech == leakctl.TechNone {
-			seeds = append(seeds, seed{sp.l2, sp.prof.Name, res.Value})
+		var seeds []seed
+		e.mu.Lock()
+		for i, res := range results {
+			sp := pending[i]
+			if res.Err != nil {
+				e.failures[res.Key] = res.Err
+				continue
+			}
+			e.runs[res.Key] = res.Value
+			completed = append(completed, doneCell{sp, res.Value})
+			if res.FromCheckpoint {
+				e.resumed++
+			} else {
+				e.executed++
+				executedNow++
+				e.noteCostLocked(sp, res.Duration)
+			}
+			if sp.tech == leakctl.TechNone {
+				seeds = append(seeds, seed{sp.l2, sp.prof.Name, res.Value})
+			}
 		}
-	}
-	e.mu.Unlock()
-	// Seed baselines outside the lock (suite() takes it too).
-	for _, sd := range seeds {
-		e.suite(sd.l2).SetBaseline(sd.name, sd.r)
+		e.mu.Unlock()
+		// Seed baselines outside the lock (suite() takes it too).
+		for _, sd := range seeds {
+			e.suite(sd.l2).SetBaseline(sd.name, sd.r)
+		}
 	}
 	// Persist every completed cell (simulated or checkpoint-restored) to
 	// the content-addressed store, then the refreshed cost model. Store
@@ -581,11 +611,237 @@ func (e *Experiments) runSpecs(specs []runSpec) error {
 				break
 			}
 		}
-		if batchExecuted > 0 {
+		if executedNow > 0 {
 			e.saveCostModel()
 		}
 	}
 	return nil
+}
+
+// doneCell is one completed (spec, result) pair flowing to the
+// content-addressed store's persistence stage.
+type doneCell struct {
+	sp runSpec
+	r  RunResult
+}
+
+// runBatchPhase executes as much of pending as possible through the
+// lockstep batch executor and returns what is left for the scalar path,
+// plus the cells it completed (simulated or checkpoint-restored) and how
+// many it actually simulated.
+//
+// The phase runs only when the batch machinery can reproduce the scalar
+// semantics exactly: no per-run deadline (the scalar supervisor enforces
+// RunTimeout per attempt, which has no lockstep equivalent), no adaptive
+// adapters (adapter state is timing-coupled and per-attempt), and a live
+// suite context. Per-group requirements — a shared machine config without
+// IL1 control, and at least two lanes to amortize the front — demote
+// individual cells, not the phase.
+func (e *Experiments) runBatchPhase(pending []runSpec) (remaining []runSpec, completed []doneCell, executed int) {
+	if e.DisableBatch || e.AdapterFor != nil || e.RunTimeout != 0 ||
+		e.ctx().Err() != nil || len(pending) < 2 {
+		return pending, nil, 0
+	}
+
+	// Checkpoint pre-resolution, mirroring the scalar supervisor's inline
+	// lookup (a corrupt entry is a miss and re-executes).
+	e.mu.Lock()
+	ckpt := e.ckpt
+	e.mu.Unlock()
+	if ckpt != nil {
+		var hits []doneCell
+		rest := pending[:0]
+		for _, sp := range pending {
+			if raw, ok := ckpt.Lookup(sp.key()); ok {
+				var r RunResult
+				if json.Unmarshal(raw, &r) == nil {
+					hits = append(hits, doneCell{sp, r})
+					obsBatchCkptHits.Add(1)
+					if e.Events != nil {
+						e.Events.Write(obs.Record{Type: "checkpoint_hit", RunID: sp.key()})
+					}
+					continue
+				}
+			}
+			rest = append(rest, sp)
+		}
+		pending = rest
+		if len(hits) > 0 {
+			e.mu.Lock()
+			for _, h := range hits {
+				e.runs[h.sp.key()] = h.r
+				e.resumed++
+			}
+			e.mu.Unlock()
+			for _, h := range hits {
+				if h.sp.tech == leakctl.TechNone {
+					e.suite(h.sp.l2).SetBaseline(h.sp.prof.Name, h.r)
+				}
+			}
+			completed = append(completed, hits...)
+		}
+	}
+
+	// Group by (benchmark, machine config) in first-seen order; demote
+	// cells whose config the batch executor cannot lockstep.
+	type batchGroup struct {
+		prof  workload.Profile
+		l2    int
+		lanes []*batchLane
+		cost  float64
+	}
+	index := make(map[string]*batchGroup)
+	var groups []*batchGroup
+	for _, sp := range pending {
+		if e.suite(sp.l2).MC.IL1Control != nil {
+			remaining = append(remaining, sp)
+			continue
+		}
+		k := fmt.Sprintf("%s/%d", sp.prof.Name, sp.l2)
+		g := index[k]
+		if g == nil {
+			g = &batchGroup{prof: sp.prof, l2: sp.l2}
+			index[k] = g
+			groups = append(groups, g)
+		}
+		g.lanes = append(g.lanes, &batchLane{sp: sp})
+		g.cost += e.costOf(sp)
+	}
+	kept := groups[:0]
+	for _, g := range groups {
+		if len(g.lanes) < 2 {
+			// A singleton cannot amortize the shared front.
+			for _, ln := range g.lanes {
+				remaining = append(remaining, ln.sp)
+			}
+			continue
+		}
+		kept = append(kept, g)
+	}
+	groups = kept
+	if len(groups) == 0 {
+		return remaining, completed, 0
+	}
+
+	// LPT at group granularity: ordering whole groups (not cells) by
+	// predicted cost keeps batchable cells together — interleaving cells
+	// across workers would fragment the batches — while the heaviest
+	// groups still start first. Stable, so equal costs keep plan order.
+	sort.SliceStable(groups, func(i, j int) bool { return groups[i].cost > groups[j].cost })
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = 1
+		if e.Parallel {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	ctx := e.ctx()
+	queue := make(chan *batchGroup)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bs := e.acquireBatchState()
+			defer e.releaseBatchState(bs)
+			for g := range queue {
+				s := e.suite(g.l2)
+				if e.Events != nil {
+					for _, ln := range g.lanes {
+						e.Events.Write(obs.Record{Type: "run_start", RunID: ln.sp.key()})
+					}
+				}
+				runBatchGroup(ctx, s.MC, g.prof, g.lanes, s.Traces, e.Injector, bs)
+			}
+		}()
+	}
+	for _, g := range groups {
+		queue <- g
+	}
+	close(queue)
+	wg.Wait()
+
+	lanes := 0
+	var okLanes []*batchLane
+	e.mu.Lock()
+	for _, g := range groups {
+		e.batchGroups++
+		e.batchLanes += len(g.lanes)
+		lanes += len(g.lanes)
+		for _, ln := range g.lanes {
+			if ln.err != nil {
+				remaining = append(remaining, ln.sp)
+				obsBatchFallback.Add(1)
+				continue
+			}
+			e.runs[ln.sp.key()] = ln.res
+			e.executed++
+			executed++
+			e.noteCostLocked(ln.sp, ln.dur)
+			okLanes = append(okLanes, ln)
+		}
+	}
+	e.mu.Unlock()
+	obsBatchGroups.Add(uint64(len(groups)))
+	obsBatchLanes.Add(uint64(lanes))
+	obsBatchOccupancy.Set(int64(lanes * 100 / len(groups)))
+
+	for _, ln := range okLanes {
+		completed = append(completed, doneCell{ln.sp, ln.res})
+		if ckpt != nil {
+			// Append errors are recorded on the checkpoint (the result is
+			// still good); see Checkpoint.Err — same contract as the
+			// supervisor's append.
+			_ = ckpt.Append(ln.sp.key(), ln.res)
+		}
+		obsBatchRunsDone.Add(1)
+		if e.Events != nil {
+			e.Events.Write(obs.Record{Type: "run_done", RunID: ln.sp.key(), Attempt: 1})
+		}
+		if ln.sp.tech == leakctl.TechNone {
+			e.suite(ln.sp.l2).SetBaseline(ln.sp.prof.Name, ln.res)
+		}
+	}
+	return remaining, completed, executed
+}
+
+// acquireBatchState pops (or creates) one batch executor's reusable
+// scratch; releaseBatchState returns it to the pool.
+func (e *Experiments) acquireBatchState() *BatchState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.batchStates); n > 0 {
+		bs := e.batchStates[n-1]
+		e.batchStates = e.batchStates[:n-1]
+		return bs
+	}
+	return new(BatchState)
+}
+
+func (e *Experiments) releaseBatchState(bs *BatchState) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.batchStates = append(e.batchStates, bs)
+}
+
+// BatchGroups returns how many lockstep groups this process has executed;
+// BatchLanes returns how many cells those groups carried. Their ratio is
+// the sweep's lane occupancy.
+func (e *Experiments) BatchGroups() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.batchGroups
+}
+
+// BatchLanes returns the number of cells executed as lockstep batch lanes.
+func (e *Experiments) BatchLanes() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.batchLanes
 }
 
 // resolveFromStore serves pending cells from the content-addressed store,
@@ -679,16 +935,16 @@ func (e *Experiments) run(prof workload.Profile, l2 int, t leakctl.Technique, in
 }
 
 // prefetch simulates a set of configurations concurrently so later cached
-// lookups are cheap. Baselines run first (they are shared across every
-// technique comparison). Individual failures are memoized, not fatal.
+// lookups are cheap. Each benchmark's baseline and technique variants are
+// planned together in one call: they share a recorded trace and a machine
+// config, so the batch phase locksteps the whole row — baseline included —
+// as one group (planning baselines separately would strand them in
+// singleton groups on the scalar path). Individual failures are memoized,
+// not fatal.
 func (e *Experiments) prefetch(l2 int, techs []leakctl.Technique, intervals []uint64) {
-	specs := make([]runSpec, 0, len(e.Profiles))
+	specs := make([]runSpec, 0, len(e.Profiles)*(1+len(techs)*len(intervals)))
 	for _, prof := range e.Profiles {
 		specs = append(specs, runSpec{prof, l2, leakctl.TechNone, 0})
-	}
-	_ = e.runSpecs(specs)
-	specs = specs[:0]
-	for _, prof := range e.Profiles {
 		for _, t := range techs {
 			for _, iv := range intervals {
 				specs = append(specs, runSpec{prof, l2, t, iv})
