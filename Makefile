@@ -6,7 +6,7 @@ GO ?= go
 #   make bench BASELINE_INSTR_S=...
 BASELINE_INSTR_S ?= 1990000
 
-.PHONY: build test verify smoke-daemon chaos bench bench-throughput bench-sweep bench-batch bench-all clean
+.PHONY: build test verify smoke-daemon smoke-cluster chaos bench bench-throughput bench-sweep bench-batch bench-all clean
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,13 @@ verify: build
 # HTTP, require the warm resubmit to be 100% store hits, SIGTERM-drain.
 smoke-daemon:
 	./scripts/daemon_smoke.sh
+
+# End-to-end cluster smoke: three workers plus a coordinator, kill -9 one
+# worker mid-sweep and require completion with zero lost cells, then
+# restart the dead worker with -peer and require a federated store hit.
+# See DESIGN.md §13.
+smoke-cluster:
+	./scripts/cluster_smoke.sh
 
 # Chaos tier: fault-injected store/server suites under the race detector,
 # then the black-box chaos smoke (real leakd under an armed fault plane,

@@ -9,6 +9,13 @@
 //
 //	leakd -store /var/lib/leakd [-addr :8080] [-workers N] [-telemetry FILE]
 //
+// Cluster mode: `leakd -coordinator -cluster w1:8081,w2:8082,w3:8083` runs
+// the coordinator — same HTTP surface, sweeps sharded across the listed
+// workers on a consistent-hash ring, with work stealing and re-sharding on
+// worker death. Workers started with `-peer http://coordinator:8080` consult
+// the coordinator's federated store view before simulating a missed cell.
+// See DESIGN.md §13.
+//
 // The store is garbage-collected in the background when a policy is set:
 // -store-ttl expires records by age, -store-max-bytes bounds the store by
 // evicting oldest-first, and -gc-interval paces the passes. GC is crash-safe
@@ -26,14 +33,19 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"strings"
+
+	"hotleakage/internal/cluster"
 	"hotleakage/internal/harness/faultinject"
 	"hotleakage/internal/obs"
 	"hotleakage/internal/server"
+	"hotleakage/internal/server/api"
 	"hotleakage/internal/store"
 )
 
@@ -63,6 +75,11 @@ func run() error {
 		faultSpec    = flag.String("faultplane", "", "inject faults for chaos testing, e.g. store.sync:err:1/50,server.handler:5xx:1/100 (see DESIGN.md §11)")
 		drainWait    = flag.Duration("drain", 30*time.Second, "max graceful drain on SIGTERM")
 		telemetry    = flag.String("telemetry", "", "append JSONL trace events to this file")
+		retention    = flag.Duration("retention", 0, "evict terminal sweeps from memory this long after they finish (0 = keep forever)")
+		coordinator  = flag.Bool("coordinator", false, "run as cluster coordinator instead of a worker (requires -cluster)")
+		clusterList  = flag.String("cluster", "", "comma-separated worker addresses for -coordinator mode")
+		peerURL      = flag.String("peer", "", "worker mode: coordinator URL for the federated store view (cells missed locally are fetched before simulating)")
+		shardRetries = flag.Int("shard-retries", 2, "coordinator mode: re-dispatch attempts per shard after worker deaths")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -94,31 +111,73 @@ func run() error {
 		logger.Printf("store: skipped %d corrupt record(s) while indexing %s", n, *storeDir)
 	}
 
-	cfg := server.Config{
-		Store:               st,
-		Workers:             *workers,
-		QueueDepth:          *queueDepth,
-		SweepConcurrency:    *sweeps,
-		MaxCells:            *maxCells,
-		DefaultInstructions: *instructions,
-		DefaultWarmup:       *warmup,
-		RunTimeout:          *runTimeout,
-		MaxRetries:          *maxRetries,
-		SweepTimeout:        *sweepTimeout,
-		Plane:               plane,
-		Log:                 logger,
-	}
-	if *telemetry != "" {
-		f, err := os.OpenFile(*telemetry, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	// handler/shutdown abstract over the two modes: a worker daemon or the
+	// cluster coordinator, which shares the listener, GC and drain plumbing.
+	var handler http.Handler
+	var shutdown func(context.Context) error
+
+	if *coordinator {
+		if *clusterList == "" {
+			return fmt.Errorf("-coordinator requires -cluster with at least one worker address")
+		}
+		var workerAddrs []string
+		for _, a := range strings.Split(*clusterList, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				workerAddrs = append(workerAddrs, a)
+			}
+		}
+		coord, err := cluster.New(cluster.Config{
+			Workers:             workerAddrs,
+			Store:               st,
+			ShardRetries:        *shardRetries,
+			QueueDepth:          *queueDepth,
+			MaxCells:            *maxCells,
+			SweepConcurrency:    *sweeps,
+			DefaultInstructions: *instructions,
+			DefaultWarmup:       *warmup,
+			Retention:           *retention,
+			Log:                 logger,
+		})
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		cfg.Events = obs.NewTraceWriter(f)
-	}
-	srv, err := server.New(cfg)
-	if err != nil {
-		return err
+		handler = coord.Handler()
+		shutdown = coord.Shutdown
+		logger.Printf("leakd: coordinator over %d workers: %s", len(workerAddrs), strings.Join(workerAddrs, ", "))
+	} else {
+		cfg := server.Config{
+			Store:               st,
+			Workers:             *workers,
+			QueueDepth:          *queueDepth,
+			SweepConcurrency:    *sweeps,
+			MaxCells:            *maxCells,
+			DefaultInstructions: *instructions,
+			DefaultWarmup:       *warmup,
+			RunTimeout:          *runTimeout,
+			MaxRetries:          *maxRetries,
+			SweepTimeout:        *sweepTimeout,
+			Plane:               plane,
+			Retention:           *retention,
+			Log:                 logger,
+		}
+		if *peerURL != "" {
+			cfg.Peer = api.NewClient(*peerURL)
+			logger.Printf("leakd: federating store misses through %s", *peerURL)
+		}
+		if *telemetry != "" {
+			f, err := os.OpenFile(*telemetry, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			cfg.Events = obs.NewTraceWriter(f)
+		}
+		srv, err := server.New(cfg)
+		if err != nil {
+			return err
+		}
+		handler = srv.Handler()
+		shutdown = srv.Shutdown
 	}
 
 	// Background GC: pace-limited passes under the configured policy. The
@@ -155,7 +214,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	hs := obs.HardenedServer(srv.Handler())
+	hs := obs.HardenedServer(handler)
 	go func() { _ = hs.Serve(ln) }()
 	logger.Printf("leakd: listening on http://%s, store %s (%d cells)",
 		ln.Addr(), *storeDir, st.Len())
@@ -169,7 +228,7 @@ func run() error {
 	close(gcStop)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
-	if err := srv.Shutdown(dctx); err != nil {
+	if err := shutdown(dctx); err != nil {
 		logger.Printf("leakd: %v", err)
 	}
 	obs.Shutdown(hs)

@@ -42,6 +42,12 @@ const (
 	SiteStoreTruncate = "store.truncate"
 	SiteHTTPRequest   = "http.request"
 	SiteServerHandler = "server.handler"
+	// SiteServerSweep fires inside the sweep executor (leakd's execute
+	// path, past admission and dequeue accounting): OpPanic there
+	// exercises the executor's panic isolation exactly where a
+	// harness-escaping bug would, OpSlow stretches a sweep for
+	// watchdog/straggler testing.
+	SiteServerSweep = "server.sweep"
 )
 
 // OpFault is the kind of failure injected into one operation.

@@ -340,6 +340,26 @@ const (
 	MetricBatchLanes          = "sim_batch_lanes_total"
 	MetricBatchScalarFallback = "sim_batch_scalar_fallback_total"
 	GaugeBatchLaneOccupancy   = "sim_batch_lane_occupancy_x100"
+	// Sweep retention (internal/server): terminal sweeps evicted from the
+	// in-memory lookup maps after the retention window.
+	MetricSweepsEvicted = "server_sweeps_evicted_total"
+	// Store federation (internal/sim): cells a node resolved from its
+	// peer's store view after a local miss, and peer lookups that missed
+	// (or errored, degrading to simulation).
+	MetricFederationHits   = "sim_federation_hits_total"
+	MetricFederationMisses = "sim_federation_misses_total"
+	// Cluster coordinator (internal/cluster): shard groups dispatched to
+	// workers, groups stolen by idle workers from loaded queues, groups
+	// re-sharded off a dead worker onto survivors, workers declared dead
+	// mid-sweep, cells acknowledged (result fetched, verified and
+	// persisted coordinator-side), and the live-worker gauge health and
+	// placement read.
+	MetricClusterShards       = "cluster_shards_dispatched_total"
+	MetricClusterSteals       = "cluster_steals_total"
+	MetricClusterReshards     = "cluster_reshards_total"
+	MetricClusterWorkerDeaths = "cluster_worker_deaths_total"
+	MetricClusterCellsAcked   = "cluster_cells_acked_total"
+	GaugeClusterWorkersAlive  = "cluster_workers_alive"
 )
 
 // Delta returns cur-prev saturating at cur when a counter source was reset

@@ -1,0 +1,117 @@
+package api
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/sim"
+	"hotleakage/internal/store"
+	"hotleakage/internal/workload"
+)
+
+// ExpandCells turns a request into a deduplicated cell list: explicit
+// cells first, then the cross product. Baseline ("none") cells are
+// normalized to interval 0 so they alias the single uncontrolled run.
+// It lives in the protocol package because a request's meaning must be
+// identical on every node that interprets it — the single-node daemon and
+// the cluster coordinator expand through this one function, so a sweep
+// shards into exactly the cells it would have run on one box.
+func ExpandCells(req SweepRequest) ([]sim.CellSpec, []Cell, error) {
+	var specs []sim.CellSpec
+	seen := make(map[string]bool)
+	add := func(c Cell) error {
+		sp, err := c.Spec()
+		if err != nil {
+			return err
+		}
+		if _, ok := workload.ByName(sp.Bench); !ok {
+			return fmt.Errorf("unknown benchmark %q", sp.Bench)
+		}
+		if sp.L2 <= 0 {
+			return fmt.Errorf("cell %s: l2_latency must be positive", sp.Key())
+		}
+		if sp.Technique == leakctl.TechNone { // one uncontrolled run per (bench, L2)
+			sp.Interval = 0
+		}
+		if !seen[sp.Key()] {
+			seen[sp.Key()] = true
+			specs = append(specs, sp)
+		}
+		return nil
+	}
+	for _, c := range req.Cells {
+		if err := add(c); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(req.Benchmarks) > 0 {
+		l2s := req.L2Latencies
+		if len(l2s) == 0 {
+			l2s = []int{11}
+		}
+		intervals := req.Intervals
+		if len(intervals) == 0 {
+			intervals = []uint64{0}
+		}
+		for _, b := range req.Benchmarks {
+			for _, l2 := range l2s {
+				if req.IncludeBaselines {
+					if err := add(Cell{Bench: b, L2: l2, Technique: "none"}); err != nil {
+						return nil, nil, err
+					}
+				}
+				for _, tname := range req.Techniques {
+					for _, iv := range intervals {
+						if err := add(Cell{Bench: b, L2: l2, Technique: tname, Interval: iv}); err != nil {
+							return nil, nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	wire := make([]Cell, len(specs))
+	for i, sp := range specs {
+		wire[i] = FromSpec(sp)
+	}
+	return specs, wire, nil
+}
+
+// RequestHash is the sweep's identity: budget plus the sorted cell set.
+// It names the checkpoint file and dedupes identical in-flight requests —
+// on the coordinator as on a single node.
+func RequestHash(instructions, warmup uint64, wire []Cell) (string, error) {
+	sorted := append([]Cell(nil), wire...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.L2 != b.L2 {
+			return a.L2 < b.L2
+		}
+		if a.Technique != b.Technique {
+			return a.Technique < b.Technique
+		}
+		return a.Interval < b.Interval
+	})
+	return store.CanonicalHash(struct {
+		Instructions uint64 `json:"instructions"`
+		Warmup       uint64 `json:"warmup"`
+		Cells        []Cell `json:"cells"`
+	}{instructions, warmup, sorted})
+}
+
+// RetryAfterSeconds renders a backoff hint as whole seconds for the
+// Retry-After header, rounding up with a floor of 1: a sub-second hint
+// truncated to "0" would make well-behaved clients (including this
+// package's admission loop) hot-loop on a full queue.
+func RetryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

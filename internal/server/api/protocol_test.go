@@ -1,0 +1,76 @@
+package api
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExpandCells covers request validation and normalization.
+func TestExpandCells(t *testing.T) {
+	specs, wire, err := ExpandCells(SweepRequest{
+		Benchmarks:       []string{"gzip", "gcc"},
+		Techniques:       []string{"drowsy"},
+		Intervals:        []uint64{1024, 4096},
+		IncludeBaselines: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 benches × (1 baseline + 2 drowsy intervals) = 6.
+	if len(specs) != 6 || len(wire) != 6 {
+		t.Fatalf("expanded %d cells, want 6", len(specs))
+	}
+
+	// Baselines normalize interval to 0 and deduplicate.
+	specs, _, err = ExpandCells(SweepRequest{Cells: []Cell{
+		{Bench: "gzip", L2: 11, Technique: "none", Interval: 555},
+		{Bench: "gzip", L2: 11, Technique: "baseline", Interval: 777},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Interval != 0 {
+		t.Fatalf("baseline normalization: %+v", specs)
+	}
+
+	if _, _, err := ExpandCells(SweepRequest{Cells: []Cell{
+		{Bench: "no-such-bench", L2: 11, Technique: "drowsy", Interval: 4096},
+	}}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, _, err := ExpandCells(SweepRequest{Cells: []Cell{
+		{Bench: "gzip", L2: 11, Technique: "quantum", Interval: 4096},
+	}}); err == nil {
+		t.Error("unknown technique accepted")
+	}
+	if _, _, err := ExpandCells(SweepRequest{Cells: []Cell{
+		{Bench: "gzip", L2: 0, Technique: "drowsy", Interval: 4096},
+	}}); err == nil {
+		t.Error("nonpositive L2 accepted")
+	}
+}
+
+// TestRetryAfterSeconds pins the rounding contract: sub-second windows
+// must advertise at least one second, never zero (a zero Retry-After
+// makes well-behaved clients hammer the daemon in a tight loop).
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-time.Second, 1},
+		{50 * time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{2*time.Second + time.Nanosecond, 3},
+	}
+	for _, c := range cases {
+		if got := RetryAfterSeconds(c.d); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package api
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"hotleakage/internal/obs"
+)
+
+// FetchCell implements sim.CellFetcher over the daemon API: a GET of the
+// content address, with 404 reported as a clean miss. It is the read side
+// of store federation — a worker whose local store misses a cell asks its
+// peer (normally the cluster coordinator) before simulating. Transport
+// trouble is an error, not a miss, so the caller can decide whether to
+// degrade to simulation (sim does) or surface it.
+func (c *Client) FetchCell(ctx context.Context, hash string) (json.RawMessage, bool, error) {
+	rec, err := c.Cell(ctx, hash)
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return rec.Value, true, nil
+}
+
+// StreamEvents attaches to a sweep's SSE stream and hands every decoded
+// record to sink until the stream ends (sweep finished and history
+// drained) or ctx is canceled. The stream is best-effort by contract —
+// the hub drops events for slow consumers and the replay ring is bounded
+// — so callers must treat it as telemetry, not as the source of truth for
+// sweep completion (poll the status for that). A canceled ctx returns
+// nil: the caller chose to stop listening, nothing failed.
+func (c *Client) StreamEvents(ctx context.Context, id string, sink func(obs.Record)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		return fmt.Errorf("api: %w", err)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return fmt.Errorf("api: events %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb ErrorBody
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+		msg := eb.Error
+		if msg == "" {
+			msg = resp.Status
+		}
+		return &StatusError{Code: resp.StatusCode, Msg: msg}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // event-type and blank separator lines
+		}
+		var rec obs.Record
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &rec); err != nil {
+			continue // a malformed frame is dropped, not fatal
+		}
+		sink(rec)
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("api: events %s: %w", id, err)
+	}
+	return nil
+}

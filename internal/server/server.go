@@ -16,19 +16,17 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
-	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"hotleakage/internal/harness"
 	"hotleakage/internal/harness/faultinject"
-	"hotleakage/internal/leakctl"
 	"hotleakage/internal/obs"
 	"hotleakage/internal/server/api"
 	"hotleakage/internal/sim"
 	"hotleakage/internal/store"
-	"hotleakage/internal/workload"
+	"hotleakage/internal/stream"
 
 	"context"
 )
@@ -42,6 +40,7 @@ var (
 	obsSweepsDegraded  = obs.Default.Counter(obs.MetricSweepsDegraded)
 	obsServerPanics    = obs.Default.Counter(obs.MetricServerPanics)
 	obsWatchdogFired   = obs.Default.Counter(obs.MetricWatchdogTimeouts)
+	obsSweepsEvicted   = obs.Default.Counter(obs.MetricSweepsEvicted)
 )
 
 // Config parameterizes a daemon. Store is required; everything else has a
@@ -72,10 +71,23 @@ type Config struct {
 	// completed cells stay checkpointed and stored.
 	SweepTimeout time.Duration
 	// Plane, when non-nil, injects faults into request handling (the
-	// server.handler site) — chaos testing only.
+	// server.handler site) and sweep execution (server.sweep) — chaos
+	// testing only.
 	Plane *faultinject.Plane
 	// RetryAfter is the backoff hint attached to 429s (default 5s).
 	RetryAfter time.Duration
+	// Retention bounds how long terminal sweeps stay queryable: a sweep
+	// is evicted from the in-memory maps this long after it finished
+	// (0 = keep forever, the pre-retention behaviour). Without it the
+	// sweeps/byHash maps grow without bound under sustained distinct
+	// traffic. The content-addressed store is unaffected — evicted
+	// results remain servable by /v1/cells/{hash}.
+	Retention time.Duration
+	// Peer, when non-nil, is the federated-store read path: a cell that
+	// misses the local store is fetched from the peer (normally the
+	// cluster coordinator) before being simulated, and a peer hit is
+	// persisted locally. See sim.Experiments.Peer.
+	Peer sim.CellFetcher
 	// Events, when non-nil, additionally receives every sweep's trace
 	// events (e.g. an obs.TraceWriter for on-disk telemetry).
 	Events harness.EventSink
@@ -120,7 +132,7 @@ type sweep struct {
 	warmup       uint64
 	ctx          context.Context
 	cancel       context.CancelFunc
-	hub          *hub
+	hub          *stream.Hub
 
 	mu       sync.Mutex
 	state    string
@@ -219,6 +231,61 @@ func (s *Server) startExecutors() {
 	for i := 0; i < s.cfg.SweepConcurrency; i++ {
 		go s.executor()
 	}
+	if s.cfg.Retention > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
+}
+
+// janitor periodically evicts terminal sweeps older than the retention
+// window so sustained distinct traffic cannot grow the sweep maps without
+// bound. It stops with the executors on drain.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	period := s.cfg.Retention / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.evictExpired(time.Now())
+		}
+	}
+}
+
+// evictExpired drops terminal sweeps that finished more than Retention
+// ago from the lookup maps. The byHash alias entry goes with the sweep —
+// but only if it still points at this sweep, so a newer identical request
+// that re-aliased the hash is never evicted early. Non-terminal sweeps
+// are never touched, which keeps in-flight aliasing correct right up to
+// eviction. Returns how many sweeps were evicted.
+func (s *Server) evictExpired(now time.Time) int {
+	cutoff := now.Add(-s.cfg.Retention)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, sw := range s.sweeps {
+		sw.mu.Lock()
+		expired := api.Terminal(sw.state) && !sw.finished.IsZero() && sw.finished.Before(cutoff)
+		sw.mu.Unlock()
+		if !expired {
+			continue
+		}
+		delete(s.sweeps, id)
+		if s.byHash[sw.reqHash] == sw {
+			delete(s.byHash, sw.reqHash)
+		}
+		n++
+	}
+	if n > 0 {
+		obsSweepsEvicted.Add(uint64(n))
+	}
+	return n
 }
 
 // Handler returns the daemon's routes wrapped in per-request panic
@@ -323,6 +390,19 @@ func (s *Server) execute(sw *sweep) {
 	defer obsSweepsInFlight.Add(-1)
 	defer sw.cancel()
 
+	// Chaos: the server.sweep site fires inside the executor, past the
+	// dequeue accounting, so an injected panic exercises the same
+	// isolation path a harness-escaping bug would.
+	if s.cfg.Plane != nil {
+		d := s.cfg.Plane.Decide(faultinject.SiteServerSweep)
+		switch d.Fault {
+		case faultinject.OpSlow:
+			time.Sleep(d.Delay)
+		case faultinject.OpPanic:
+			panic("faultinject: injected panic at " + faultinject.SiteServerSweep)
+		}
+	}
+
 	// The watchdog bounds the whole sweep; its cancellation propagates
 	// through the harness exactly like a drain (in-flight cells stop,
 	// completed cells are already durable).
@@ -343,6 +423,7 @@ func (s *Server) execute(sw *sweep) {
 	e.Ctx = runCtx
 	e.RunTimeout = s.cfg.RunTimeout
 	e.MaxRetries = s.cfg.MaxRetries
+	e.Peer = s.cfg.Peer
 	e.Events = multiSink{sw.hub, s.cfg.Events}
 	// The checkpoint is keyed by the request hash: a daemon killed
 	// mid-sweep resumes exactly this request's remaining cells on restart.
@@ -412,7 +493,7 @@ func (s *Server) execute(sw *sweep) {
 	sw.mu.Unlock()
 
 	sw.hub.Write(obs.Record{Type: "sweep_" + state, RunID: sw.id, Error: msg})
-	sw.hub.close()
+	sw.hub.Close()
 	obsSweepsCompleted.Add(1)
 	s.cfg.Log.Printf("leakd: sweep %s %s (executed=%d store_hits=%d resumed=%d failed=%d)",
 		sw.id, state, executed, hits, resumed, failed)
@@ -427,7 +508,7 @@ func (s *Server) finishUnrun(sw *sweep, state, msg string) {
 	sw.errMsg = msg
 	sw.mu.Unlock()
 	sw.hub.Write(obs.Record{Type: "sweep_" + state, RunID: sw.id, Error: msg})
-	sw.hub.close()
+	sw.hub.Close()
 }
 
 // Shutdown drains the daemon: new submissions get 503, queued sweeps are
@@ -474,94 +555,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // ---- request admission ----
 
-// expandCells turns a request into a deduplicated cell list: explicit
-// cells first, then the cross product. Baseline ("none") cells are
-// normalized to interval 0 so they alias the single uncontrolled run.
-func expandCells(req api.SweepRequest) ([]sim.CellSpec, []api.Cell, error) {
-	var specs []sim.CellSpec
-	seen := make(map[string]bool)
-	add := func(c api.Cell) error {
-		sp, err := c.Spec()
-		if err != nil {
-			return err
-		}
-		if _, ok := workload.ByName(sp.Bench); !ok {
-			return fmt.Errorf("unknown benchmark %q", sp.Bench)
-		}
-		if sp.L2 <= 0 {
-			return fmt.Errorf("cell %s: l2_latency must be positive", sp.Key())
-		}
-		if sp.Technique == leakctl.TechNone { // one uncontrolled run per (bench, L2)
-			sp.Interval = 0
-		}
-		if !seen[sp.Key()] {
-			seen[sp.Key()] = true
-			specs = append(specs, sp)
-		}
-		return nil
-	}
-	for _, c := range req.Cells {
-		if err := add(c); err != nil {
-			return nil, nil, err
-		}
-	}
-	if len(req.Benchmarks) > 0 {
-		l2s := req.L2Latencies
-		if len(l2s) == 0 {
-			l2s = []int{11}
-		}
-		intervals := req.Intervals
-		if len(intervals) == 0 {
-			intervals = []uint64{0}
-		}
-		for _, b := range req.Benchmarks {
-			for _, l2 := range l2s {
-				if req.IncludeBaselines {
-					if err := add(api.Cell{Bench: b, L2: l2, Technique: "none"}); err != nil {
-						return nil, nil, err
-					}
-				}
-				for _, tname := range req.Techniques {
-					for _, iv := range intervals {
-						if err := add(api.Cell{Bench: b, L2: l2, Technique: tname, Interval: iv}); err != nil {
-							return nil, nil, err
-						}
-					}
-				}
-			}
-		}
-	}
-	wire := make([]api.Cell, len(specs))
-	for i, sp := range specs {
-		wire[i] = api.FromSpec(sp)
-	}
-	return specs, wire, nil
-}
-
-// requestHash is the sweep's identity: budget plus the sorted cell set.
-// It names the checkpoint file and dedupes identical in-flight requests.
-func requestHash(instructions, warmup uint64, wire []api.Cell) (string, error) {
-	sorted := append([]api.Cell(nil), wire...)
-	sort.Slice(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		if a.Bench != b.Bench {
-			return a.Bench < b.Bench
-		}
-		if a.L2 != b.L2 {
-			return a.L2 < b.L2
-		}
-		if a.Technique != b.Technique {
-			return a.Technique < b.Technique
-		}
-		return a.Interval < b.Interval
-	})
-	return store.CanonicalHash(struct {
-		Instructions uint64     `json:"instructions"`
-		Warmup       uint64     `json:"warmup"`
-		Cells        []api.Cell `json:"cells"`
-	}{instructions, warmup, sorted})
-}
-
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.SweepRequest
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
@@ -575,7 +568,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Warmup == 0 {
 		req.Warmup = s.cfg.DefaultWarmup
 	}
-	specs, wire, err := expandCells(req)
+	specs, wire, err := api.ExpandCells(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -602,7 +595,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, `priority must be "interactive" or "bulk"`)
 		return
 	}
-	reqHash, err := requestHash(req.Instructions, req.Warmup, wire)
+	reqHash, err := api.RequestHash(req.Instructions, req.Warmup, wire)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "hash request: "+err.Error())
 		return
@@ -645,7 +638,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		warmup:       req.Warmup,
 		ctx:          ctx,
 		cancel:       cancel,
-		hub:          newHub(),
+		hub:          stream.NewHub(),
 		state:        api.StateQueued,
 		created:      time.Now(),
 	}
@@ -653,20 +646,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if priority == "interactive" {
 		q = s.interactive
 	}
+	// The gauge goes up before the enqueue: an executor that dequeues the
+	// sweep immediately decrements a count that already includes it, so
+	// the load signal (which the cluster coordinator's placement reads)
+	// never dips below zero. A rejected submit takes the increment back.
+	obsQueueDepth.Add(1)
 	select {
 	case q <- sw:
 	default:
 		s.mu.Unlock()
+		obsQueueDepth.Add(-1)
 		cancel()
 		obsSweepsRejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(api.RetryAfterSeconds(s.cfg.RetryAfter)))
 		httpError(w, http.StatusTooManyRequests, priority+" queue is full")
 		return
 	}
 	s.sweeps[sw.id] = sw
 	s.byHash[reqHash] = sw
 	s.mu.Unlock()
-	obsQueueDepth.Add(1)
 	obsSweepsAccepted.Add(1)
 	respondJSON(w, http.StatusAccepted, s.status(sw, false))
 }
@@ -752,47 +750,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such sweep")
 		return
 	}
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		httpError(w, http.StatusInternalServerError, "streaming unsupported")
-		return
+	if err := stream.ServeSSE(w, r, sw.hub); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
 	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("X-Accel-Buffering", "no")
-	w.WriteHeader(http.StatusOK)
-
-	replay, ch, cancel := sw.hub.subscribe()
-	defer cancel()
-	for _, rec := range replay {
-		if err := writeSSE(w, rec); err != nil {
-			return
-		}
-	}
-	fl.Flush()
-	for {
-		select {
-		case rec, open := <-ch:
-			if !open {
-				return // sweep finished; history already flushed
-			}
-			if err := writeSSE(w, rec); err != nil {
-				return
-			}
-			fl.Flush()
-		case <-r.Context().Done():
-			return
-		}
-	}
-}
-
-func writeSSE(w http.ResponseWriter, rec obs.Record) error {
-	data, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", rec.Type, data)
-	return err
 }
 
 func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {

@@ -463,47 +463,5 @@ func TestDrainAndResume(t *testing.T) {
 	}
 }
 
-// TestExpandCells covers request validation and normalization.
-func TestExpandCells(t *testing.T) {
-	specs, wire, err := expandCells(api.SweepRequest{
-		Benchmarks:       []string{"gzip", "gcc"},
-		Techniques:       []string{"drowsy"},
-		Intervals:        []uint64{1024, 4096},
-		IncludeBaselines: true,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// 2 benches × (1 baseline + 2 drowsy intervals) = 6.
-	if len(specs) != 6 || len(wire) != 6 {
-		t.Fatalf("expanded %d cells, want 6", len(specs))
-	}
-
-	// Baselines normalize interval to 0 and deduplicate.
-	specs, _, err = expandCells(api.SweepRequest{Cells: []api.Cell{
-		{Bench: "gzip", L2: 11, Technique: "none", Interval: 555},
-		{Bench: "gzip", L2: 11, Technique: "baseline", Interval: 777},
-	}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(specs) != 1 || specs[0].Interval != 0 {
-		t.Fatalf("baseline normalization: %+v", specs)
-	}
-
-	if _, _, err := expandCells(api.SweepRequest{Cells: []api.Cell{
-		{Bench: "no-such-bench", L2: 11, Technique: "drowsy", Interval: 4096},
-	}}); err == nil {
-		t.Error("unknown benchmark accepted")
-	}
-	if _, _, err := expandCells(api.SweepRequest{Cells: []api.Cell{
-		{Bench: "gzip", L2: 11, Technique: "quantum", Interval: 4096},
-	}}); err == nil {
-		t.Error("unknown technique accepted")
-	}
-	if _, _, err := expandCells(api.SweepRequest{Cells: []api.Cell{
-		{Bench: "gzip", L2: 0, Technique: "drowsy", Interval: 4096},
-	}}); err == nil {
-		t.Error("nonpositive L2 accepted")
-	}
-}
+// Request expansion/validation tests live with the code in
+// internal/server/api (TestExpandCells in protocol_test.go).

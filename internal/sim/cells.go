@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"hotleakage/internal/harness"
@@ -142,6 +143,17 @@ type RemoteCell struct {
 // sim free of transport concerns.
 type RemoteRunner interface {
 	RunCells(ctx context.Context, instructions, warmup uint64, specs []CellSpec) ([]RemoteCell, error)
+}
+
+// CellFetcher reads one cell's stored result from a federated store view
+// by content address: a clean miss is (nil, false, nil); an error means
+// the peer was unreachable or answered garbage, and the caller decides
+// whether to degrade (the resolution ladder treats it as a miss and
+// simulates). internal/server/api.Client implements it over GET
+// /v1/cells/{hash}; the cluster coordinator implements the serving side
+// by consulting its own store and then every live worker.
+type CellFetcher interface {
+	FetchCell(ctx context.Context, hash string) (json.RawMessage, bool, error)
 }
 
 // runSpecsRemote resolves pending specs through the remote daemon,

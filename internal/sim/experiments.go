@@ -32,6 +32,13 @@ var (
 	obsStoreMisses = obs.Default.Counter(obs.MetricStoreMisses)
 )
 
+// Federation outcome counters: cells resolved from the peer's store view
+// after a local miss, and peer lookups that missed or errored.
+var (
+	obsFederationHits   = obs.Default.Counter(obs.MetricFederationHits)
+	obsFederationMisses = obs.Default.Counter(obs.MetricFederationMisses)
+)
+
 // obsRemoteDegraded counts batches that fell back from a sick remote
 // daemon to the local resolution ladder (RemoteFallback).
 var obsRemoteDegraded = obs.Default.Counter(obs.MetricRemoteDegraded)
@@ -145,6 +152,15 @@ type Experiments struct {
 	// is persisted in the store's meta segment, so a fresh process
 	// schedules longest-first from its first batch.
 	Store *store.Store
+
+	// Peer, when non-nil, extends the resolution ladder with a federated
+	// store view: a cell that misses the local Store is fetched from the
+	// peer (normally the cluster coordinator) before being simulated, and
+	// a peer hit is persisted into the local Store so the next miss is
+	// local. Peer trouble (unreachable, garbage) degrades to simulation —
+	// it never fails a cell. First-write-wins store semantics make a
+	// double-computed cell (both sides simulated it) harmless.
+	Peer CellFetcher
 
 	// Remote, when non-nil, delegates execution of pending cells to a
 	// leakd daemon (leakbench -remote): the local process keeps the memo,
@@ -323,7 +339,7 @@ func (e *Experiments) supervisor() (*harness.Supervisor[RunResult], error) {
 	// instead of re-learning ns/instr from zero.
 	if e.Store != nil && len(e.costs) == 0 {
 		var persisted map[string]float64
-		if ok, err := e.Store.GetMeta(costModelMetaKey, &persisted); err == nil && ok {
+		if ok, err := e.Store.GetMeta(CostModelMetaKey, &persisted); err == nil && ok {
 			for k, v := range persisted {
 				if v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
 					e.costs[k] = v
@@ -334,12 +350,13 @@ func (e *Experiments) supervisor() (*harness.Supervisor[RunResult], error) {
 	return e.sup, nil
 }
 
-// costModelMetaKey names the persisted EWMA cost model in the result
+// CostModelMetaKey names the persisted EWMA cost model in the result
 // store's meta segment. Values are observed ns per instruction keyed by
 // bench+"/"+technique — host-dependent but self-correcting: the EWMA folds
 // fresh observations in, so a model learned on another machine converges
-// rather than poisons.
-const costModelMetaKey = "cost_model_ns_per_instr"
+// rather than poisons. Exported so the cluster coordinator can warm its
+// shard scheduler from the same model and fold its own observations back.
+const CostModelMetaKey = "cost_model_ns_per_instr"
 
 // saveCostModel persists the current cost model to the store's meta
 // segment. Failures are retained for Err, not fatal: a read-only store
@@ -356,7 +373,7 @@ func (e *Experiments) saveCostModel() {
 	}
 	st := e.Store
 	e.mu.Unlock()
-	if err := st.PutMeta(costModelMetaKey, snapshot); err != nil {
+	if err := st.PutMeta(CostModelMetaKey, snapshot); err != nil {
 		e.mu.Lock()
 		if e.storeErr == nil {
 			e.storeErr = err
@@ -539,7 +556,7 @@ func (e *Experiments) runSpecs(specs []runSpec) error {
 	if err != nil {
 		return err
 	}
-	if e.Store != nil {
+	if e.Store != nil || e.Peer != nil {
 		if pending = e.resolveFromStore(pending); len(pending) == 0 {
 			return nil
 		}
@@ -848,11 +865,15 @@ func (e *Experiments) BatchLanes() int {
 // returning the cells that still need execution. A stored value that fails
 // to decode or validate is treated as a miss and re-executed (the store's
 // first-write-wins semantics mean it is never overwritten, but the
-// simulation result is still produced for the caller).
+// simulation result is still produced for the caller). Cells that miss the
+// local store consult the federated Peer view when one is configured; a
+// peer hit is validated identically, persisted locally, and served as a
+// store hit.
 func (e *Experiments) resolveFromStore(pending []runSpec) []runSpec {
 	type hit struct {
-		sp runSpec
-		r  RunResult
+		sp        runSpec
+		r         RunResult
+		federated bool
 	}
 	var hits []hit
 	remaining := pending[:0]
@@ -863,26 +884,31 @@ func (e *Experiments) resolveFromStore(pending []runSpec) []runSpec {
 			remaining = append(remaining, sp)
 			continue
 		}
-		rec, ok, gerr := e.Store.Get(h)
-		if gerr != nil {
-			e.mu.Lock()
-			if e.storeErr == nil {
-				e.storeErr = gerr
+		if e.Store != nil {
+			rec, ok, gerr := e.Store.Get(h)
+			if gerr != nil {
+				e.mu.Lock()
+				if e.storeErr == nil {
+					e.storeErr = gerr
+				}
+				e.mu.Unlock()
 			}
-			e.mu.Unlock()
+			if ok && gerr == nil {
+				var r RunResult
+				if uerr := json.Unmarshal(rec.Value, &r); uerr == nil && checkRun(r) == nil {
+					hits = append(hits, hit{sp, r, false})
+					continue
+				}
+			}
 		}
-		if !ok || gerr != nil {
-			obsStoreMisses.Add(1)
-			remaining = append(remaining, sp)
-			continue
+		if e.Peer != nil {
+			if r, ok := e.fetchFromPeer(h, mc, sp); ok {
+				hits = append(hits, hit{sp, r, true})
+				continue
+			}
 		}
-		var r RunResult
-		if err := json.Unmarshal(rec.Value, &r); err != nil || checkRun(r) != nil {
-			obsStoreMisses.Add(1)
-			remaining = append(remaining, sp)
-			continue
-		}
-		hits = append(hits, hit{sp, r})
+		obsStoreMisses.Add(1)
+		remaining = append(remaining, sp)
 	}
 	if len(hits) == 0 {
 		return remaining
@@ -896,13 +922,47 @@ func (e *Experiments) resolveFromStore(pending []runSpec) []runSpec {
 	e.mu.Unlock()
 	for _, ht := range hits {
 		if e.Events != nil {
-			e.Events.Write(obs.Record{Type: "store_hit", RunID: ht.sp.key()})
+			rec := obs.Record{Type: "store_hit", RunID: ht.sp.key()}
+			if ht.federated {
+				rec.Detail = "federated"
+			}
+			e.Events.Write(rec)
 		}
 		if ht.sp.tech == leakctl.TechNone {
 			e.suite(ht.sp.l2).SetBaseline(ht.sp.prof.Name, ht.r)
 		}
 	}
 	return remaining
+}
+
+// fetchFromPeer resolves one cell from the federated store view. A hit is
+// validated exactly like a local store record, persisted into the local
+// store (first-write-wins makes a concurrent local compute harmless), and
+// served without simulation. Any peer trouble — unreachable, a miss, or a
+// record that fails validation — degrades to a local miss; federation
+// never fails a cell.
+func (e *Experiments) fetchFromPeer(h string, mc MachineConfig, sp runSpec) (RunResult, bool) {
+	raw, ok, err := e.Peer.FetchCell(e.ctx(), h)
+	if err != nil || !ok {
+		obsFederationMisses.Add(1)
+		return RunResult{}, false
+	}
+	var r RunResult
+	if uerr := json.Unmarshal(raw, &r); uerr != nil || checkRun(r) != nil {
+		obsFederationMisses.Add(1)
+		return RunResult{}, false
+	}
+	obsFederationHits.Add(1)
+	if e.Store != nil {
+		if perr := e.Store.Put(h, cellIdentityFor(mc, sp.prof.Name, sp.tech, sp.interval), r); perr != nil {
+			e.mu.Lock()
+			if e.storeErr == nil {
+				e.storeErr = perr
+			}
+			e.mu.Unlock()
+		}
+	}
+	return r, true
 }
 
 // run returns the (cached) timing run for one configuration, executing it

@@ -1,0 +1,132 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hotleakage/internal/obs"
+)
+
+// TestHubRingOverflow: more events than BufCap wrap the ring; a late
+// subscriber replays exactly the newest BufCap events, in order.
+func TestHubRingOverflow(t *testing.T) {
+	h := NewHub()
+	const n = BufCap + 300
+	for i := 0; i < n; i++ {
+		h.Write(obs.Record{Type: "run_done", Detail: fmt.Sprintf("ev-%d", i)})
+	}
+	replay, ch, cancel := h.Subscribe()
+	defer cancel()
+	if len(replay) != BufCap {
+		t.Fatalf("replay length %d, want %d", len(replay), BufCap)
+	}
+	for i, rec := range replay {
+		want := fmt.Sprintf("ev-%d", n-BufCap+i)
+		if rec.Detail != want {
+			t.Fatalf("replay[%d] = %s, want %s (oldest-first ring order)", i, rec.Detail, want)
+		}
+	}
+	select {
+	case <-ch:
+		t.Fatal("live channel has events before any post-subscribe write")
+	default:
+	}
+}
+
+// TestHubSlowConsumerDrops: a subscriber that never drains loses events —
+// Write must not block even when the subscriber channel is full.
+func TestHubSlowConsumerDrops(t *testing.T) {
+	h := NewHub()
+	_, ch, cancel := h.Subscribe()
+	defer cancel()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// subBufCap fills the channel; the rest must be dropped, not block.
+		for i := 0; i < subBufCap+1000; i++ {
+			h.Write(obs.Record{Type: "run_done", Detail: fmt.Sprintf("ev-%d", i)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Write blocked on an undrained subscriber")
+	}
+	if got := len(ch); got != subBufCap {
+		t.Errorf("stalled subscriber holds %d events, want %d (rest dropped)", got, subBufCap)
+	}
+	// The hub itself kept everything the ring can hold.
+	replay, _, cancel2 := h.Subscribe()
+	defer cancel2()
+	if len(replay) != subBufCap+1000 {
+		t.Errorf("replay length %d, want %d", len(replay), subBufCap+1000)
+	}
+}
+
+// TestHubCloseSemantics: close is idempotent, live channels close, writes
+// after close are dropped, and post-close subscribers still get the replay
+// with an already-closed channel.
+func TestHubCloseSemantics(t *testing.T) {
+	h := NewHub()
+	h.Write(obs.Record{Type: "sweep_start"})
+	_, live, cancel := h.Subscribe()
+	defer cancel()
+	h.Close()
+	h.Close() // idempotent
+	if _, open := <-live; open {
+		t.Fatal("live channel still open after hub close")
+	}
+	h.Write(obs.Record{Type: "dropped"})
+	replay, ch, _ := h.Subscribe()
+	if len(replay) != 1 || replay[0].Type != "sweep_start" {
+		t.Fatalf("post-close replay %v, want the single pre-close event", replay)
+	}
+	if _, open := <-ch; open {
+		t.Fatal("post-close subscriber channel not closed")
+	}
+}
+
+// TestHubConcurrentChurn hammers Subscribe/cancel/Write/Close from many
+// goroutines; run under -race this pins the locking discipline.
+func TestHubConcurrentChurn(t *testing.T) {
+	h := NewHub()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Write(obs.Record{Type: "run_done", Attempt: i})
+				}
+			}
+		}()
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, ch, cancel := h.Subscribe()
+				for j := 0; j < 10; j++ {
+					select {
+					case <-ch:
+					default:
+					}
+				}
+				cancel()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	h.Close()
+}
