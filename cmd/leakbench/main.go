@@ -54,6 +54,7 @@ func run() int {
 		workers    = flag.Int("workers", 0, "worker pool size (0 = all CPUs; overrides -serial)")
 		noTrace    = flag.Bool("no-trace-cache", false, "disable the shared instruction-trace cache (slower; results identical)")
 		noBatch    = flag.Bool("no-batch", false, "disable lockstep batch execution of variant groups (slower; results identical)")
+		frontFill  = flag.String("front-fill", "auto", "batch front fill policy: auto (skip record+decode for single-consumer traces), trace (always record+replay), live (always generate)")
 		traceSpill = flag.String("trace-spill", "", "spill recorded traces to files in this directory instead of memory")
 		asCSV      = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
 		timeout    = flag.Duration("timeout", 0, "per-run deadline (e.g. 30s; 0 = none)")
@@ -92,6 +93,10 @@ func run() int {
 	e.Workers = *workers
 	e.DisableTraceCache = *noTrace
 	e.DisableBatch = *noBatch
+	if e.FrontFill, err = sim.ParseFrontFillMode(*frontFill); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	e.TraceSpillDir = *traceSpill
 	e.Ctx = ctx
 	e.RunTimeout = *timeout

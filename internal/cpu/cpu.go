@@ -17,11 +17,25 @@
 // one by one. The fast-forward is bit-identical to strict cycle-by-cycle
 // execution — see Core.fastForward for the invariant and
 // Core.DisableFastForward for the reference path tests compare against.
+//
+// The RUU is stored struct-of-arrays: each per-entry field (producer seqs,
+// address, ready time, scheduler links, waiter chains, op class) lives in
+// its own dense parallel array rather than one 64-byte struct per entry.
+// Every stage walk touches only the fields it needs — dispatch reads the
+// producer arrays, issue the op/address arrays, the wheel the link array —
+// so the per-slot hot footprint shrinks and N lockstep lanes stepping the
+// same chunk stop dragging each other's unrelated fields through the cache.
+// Fetched instructions are decoded straight into their ring slot (the
+// seq->slot mapping is fixed at fetch time and the ring is sized so a
+// pending slot can never alias an in-flight one), which removes the old
+// intermediate fetch buffer and its per-instruction struct copies entirely:
+// the fetch->dispatch queue is just the seq interval [tail, nextSeq).
 package cpu
 
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"hotleakage/internal/bpred"
 	"hotleakage/internal/cache"
@@ -167,40 +181,6 @@ func (s Stats) IPC() float64 {
 	return float64(s.Instructions) / float64(s.Cycles)
 }
 
-// entry is one RUU slot. Completion state (issued flag, completion cycle,
-// memory-op flag) lives in the Core.done side array instead: the walks
-// that only ask "is it done yet?" — commit, operand resolution, the
-// fast-forward event scan — then touch a dense word per entry rather than
-// pulling in a whole line of operand fields.
-type entry struct {
-	src1 uint64 // producer seq (0 = none; seqs start at 1)
-	src2 uint64
-	addr uint64
-	// readyAt is the cycle both producers' values are available (0 = not
-	// yet computable because a producer is still un-issued). A
-	// producer's completion time is immutable once it issues and
-	// irrelevant once it commits, so the value is final when first
-	// derived.
-	readyAt uint64
-	// link chains this entry through whichever scheduler structure it
-	// currently waits in: a producer's waiter chain (readyAt unknown) or
-	// a wake-wheel slot (readyAt known and in the future). The states
-	// are mutually exclusive, so one field serves both.
-	link uint64
-	// waiters heads the chain of dispatched entries whose ready time
-	// becomes computable when this entry issues.
-	waiters uint64
-	op      workload.OpClass
-	// Pad to 64 bytes so each entry occupies exactly one cache line and
-	// the issue/dispatch walks never straddle two.
-	_ [7]byte
-}
-
-type fetched struct {
-	ins workload.Instr
-	seq uint64
-}
-
 // InstrSource supplies the instruction stream: a live workload.Generator or
 // a recorded trace (package trace) replayed from disk.
 type InstrSource interface {
@@ -232,6 +212,23 @@ const never = ^uint64(0)
 // notIssued marks a done-array slot whose occupant has not issued yet.
 const notIssued = ^uint64(0)
 
+// Pipeline-stage indices for the sampled ns attribution (see Run).
+const (
+	stageTick = iota
+	stageCommit
+	stageIssue
+	stageDispatch
+	stageFetch
+	numStage
+)
+
+// stageSampleMask selects which cycles get per-stage wall-clock timing:
+// cycle numbers with the masked bits zero, i.e. 1 in 1024. Sampling keys
+// off the deterministic cycle counter, so which simulated cycles are
+// sampled is identical across variants and runs, and the per-cycle cost on
+// unsampled cycles is one AND and one predictable branch.
+const stageSampleMask = 1023
+
 // Core wires the generator, predictor and memory hierarchy together.
 type Core struct {
 	Cfg    Config
@@ -251,10 +248,31 @@ type Core struct {
 	// Tests flip it to prove identity; production runs leave it false.
 	DisableFastForward bool
 
-	// ring holds the RUU. Its length is the next power of two >= RUUSize
-	// so slot lookup is a mask, not a modulo; occupancy is still bounded
-	// by RUUSize in dispatch, so no two in-flight seqs alias.
-	ring     []entry
+	// The RUU ring, struct-of-arrays. All arrays share one length: the
+	// next power of two >= RUUSize + 3*FetchWidth, so slot lookup is a
+	// mask and a fetched-but-undispatched slot (the [tail, nextSeq)
+	// interval, at most 3*FetchWidth-1 long) can never alias an in-flight
+	// one ([head, tail), at most RUUSize long).
+	//
+	// src1/src2 hold producer seqs (0 = none; seqs start at 1), addr the
+	// memory address, ops the op class — all written at fetch time, when
+	// the instruction is decoded straight into its slot. readyAt is the
+	// cycle both producers' values are available (0 = not yet computable
+	// because a producer is still un-issued); a producer's completion time
+	// is immutable once it issues, so the value is final when first
+	// derived. link chains a slot through whichever scheduler structure it
+	// currently waits in: a producer's waiter chain (readyAt unknown) or a
+	// wake-wheel slot (readyAt known and in the future) — the states are
+	// mutually exclusive, so one array serves both. waiters heads the
+	// chain of dispatched entries whose ready time becomes computable when
+	// this slot's occupant issues.
+	src1     []uint64
+	src2     []uint64
+	addr     []uint64
+	readyAt  []uint64
+	link     []uint64
+	waiters  []uint64
+	ops      []workload.OpClass
 	ringMask uint64
 	head     uint64 // oldest in-flight seq
 	tail     uint64 // one past the youngest dispatched seq
@@ -273,9 +291,9 @@ type Core struct {
 	// paths store plain words, not slice headers with write barriers.
 	rdy    []uint64
 	rdyLen int
-	// wheel[t & wheelMask] heads a chain (through entry.link) of entries
-	// whose readyAt is t modulo the wheel size; entries from a later lap
-	// are re-filed on pop. Wakes can never land inside a fast-forwarded
+	// wheel[t & wheelMask] heads a chain (through link) of entries whose
+	// readyAt is t modulo the wheel size; entries from a later lap are
+	// re-filed on pop. Wakes can never land inside a fast-forwarded
 	// region: a future readyAt always equals the doneAt of an in-flight
 	// producer, which bounds the fast-forward jump. A fixed-size array
 	// (the size is a compile-time constant) lets masked indexing skip
@@ -284,7 +302,7 @@ type Core struct {
 	// nextRdy is the fast lane for the dominant wake distance: entries
 	// whose readyAt is exactly the next cycle (single-cycle producers
 	// issue and wake dependents for cycle+1 constantly). They skip the
-	// wheel's chain-link stores and entry reloads; the slice is drained
+	// wheel's chain-link stores and reloads; the slice is drained
 	// unconditionally at the next cycle's pop. The next cycle can never
 	// be fast-forwarded over: readyAt == now+1 implies a producer with
 	// doneAt >= now+1 is still in flight, which bounds the jump. Fixed
@@ -305,9 +323,9 @@ type Core struct {
 	unissued int
 	// done packs each slot's completion state into one word:
 	// notIssued while the occupant has not issued, else doneAt<<1 with
-	// bit 0 flagging a memory op (for commit's LSQ release). Keeping it
-	// out of the entry struct makes the done-yet walks — commit,
-	// readyTime, fastForward — scan eight slots per cache line.
+	// bit 0 flagging a memory op (for commit's LSQ release). A dense
+	// word per slot keeps the done-yet walks — commit, readyTime,
+	// fastForward — at eight slots per cache line.
 	done []uint64
 	// wakeBuf is scratch for wakeWaiters to reverse a waiter chain
 	// (capacity: ring size, the most entries that can ever wait).
@@ -320,20 +338,17 @@ type Core struct {
 	mshrBusy []uint64
 	mshrLen  int
 
-	// fetchBuf is a fixed ring buffer (capacity: next power of two >=
-	// 3*FetchWidth, the maximum occupancy fetch can create) replacing the
-	// old append/reslice queue that churned allocations every cycle.
-	fetchBuf  []fetched
-	fetchHead int
-	fetchLen  int
-	fetchMask int
-
 	fetchStall    uint64 // first cycle fetch may run again
 	pendingBranch uint64 // seq of an unresolved mispredicted branch (0 = none)
 	lastFetchLine uint64
 
 	nextSeq uint64
 	now     uint64 // global cycle counter, persists across Run calls
+
+	// scratch receives live-generated instructions; a long-lived buffer
+	// (rather than a loop local) keeps the interface-path Gen.Next call
+	// from forcing a per-instruction heap allocation.
+	scratch workload.Instr
 
 	// genFast caches Gen's concrete type when it is the live workload
 	// generator, turning the per-instruction interface dispatch in fetch
@@ -350,6 +365,15 @@ type Core struct {
 	// unit this cycle: the machine is stalled on structural hazards that
 	// clear by themselves next cycle, so the cycle is not skippable.
 	fuBlocked bool
+
+	// Sampled per-stage attribution: on cycles selected by
+	// stageSampleMask, each pipeline stage's wall-clock ns accumulate in
+	// stageNS and stageSampled counts the sampled cycles. Plain counters,
+	// flushed (with deltas, never atomics) by ObsFlush.
+	stageNS      [numStage]uint64
+	stageSampled uint64
+	obsPrevStage [numStage]uint64
+	obsPrevSamp  uint64
 
 	// front, when non-nil, switches fetch into batch-replay mode: the
 	// instruction stream and predictor outcomes come from the shared
@@ -388,10 +412,10 @@ func New(cfg Config, gen InstrSource, pred *bpred.Predictor, ic FetchCache, dc *
 }
 
 // Recycle rebuilds old into exactly the state New(cfg, ...) would return,
-// reusing its backing arrays (ring, ready lists, bitmaps, fetch buffer)
-// when the configuration matches. It lets a sweep worker amortize the
-// core's allocations across many runs; a nil or mismatched old simply
-// falls back to a fresh core.
+// reusing its backing arrays (ring arrays, ready lists, bitmaps) when the
+// configuration matches. It lets a sweep worker amortize the core's
+// allocations across many runs; a nil or mismatched old simply falls back
+// to a fresh core.
 func Recycle(old *Core, cfg Config, gen InstrSource, pred *bpred.Predictor, ic FetchCache, dc *leakctl.DCache) *Core {
 	if old == nil || old.Cfg != cfg {
 		old = nil
@@ -406,55 +430,70 @@ func Recycle(old *Core, cfg Config, gen InstrSource, pred *bpred.Predictor, ic F
 // fixed-size wake wheel) the same way, so both paths leave the core
 // bit-identical.
 func build(cfg Config, gen InstrSource, pred *bpred.Predictor, ic FetchCache, dc *leakctl.DCache, old *Core) *Core {
+	// Ring capacity: the in-flight window (RUUSize) plus the maximum
+	// fetched-but-undispatched backlog (fetch adds up to FetchWidth while
+	// the backlog is below 2*FetchWidth), rounded up to a power of two.
 	ringLen := 1
-	for ringLen < cfg.RUUSize {
+	for ringLen < cfg.RUUSize+3*cfg.FetchWidth {
 		ringLen <<= 1
-	}
-	fbLen := 1
-	for fbLen < 3*cfg.FetchWidth {
-		fbLen <<= 1
 	}
 	c := old
 	if c == nil {
 		c = &Core{
-			ring:     make([]entry, ringLen),
-			rdy:      make([]uint64, ringLen),
-			nextRdy:  make([]uint64, ringLen),
-			unb:      make([]uint64, (ringLen+63)/64),
-			done:     make([]uint64, ringLen),
-			wakeBuf:  make([]uint64, ringLen),
-			fetchBuf: make([]fetched, fbLen),
+			src1:    make([]uint64, ringLen),
+			src2:    make([]uint64, ringLen),
+			addr:    make([]uint64, ringLen),
+			readyAt: make([]uint64, ringLen),
+			link:    make([]uint64, ringLen),
+			waiters: make([]uint64, ringLen),
+			ops:     make([]workload.OpClass, ringLen),
+			rdy:     make([]uint64, ringLen),
+			nextRdy: make([]uint64, ringLen),
+			unb:     make([]uint64, (ringLen+63)/64),
+			done:    make([]uint64, ringLen),
+			wakeBuf: make([]uint64, ringLen),
 		}
 		if cfg.MSHRs > 0 {
 			c.mshrBusy = make([]uint64, cfg.MSHRs)
 		}
 	} else {
-		clear(c.ring)
+		clear(c.src1)
+		clear(c.src2)
+		clear(c.addr)
+		clear(c.readyAt)
+		clear(c.link)
+		clear(c.waiters)
+		clear(c.ops)
 		clear(c.rdy)
 		clear(c.nextRdy)
 		clear(c.unb)
 		clear(c.done)
 		clear(c.wakeBuf)
-		clear(c.fetchBuf)
 		clear(c.mshrBusy)
 	}
-	ring, rdy, nextRdy, unb, done, wakeBuf, fetchBuf, mshr :=
-		c.ring, c.rdy, c.nextRdy, c.unb, c.done, c.wakeBuf, c.fetchBuf, c.mshrBusy
+	src1, src2, addr, readyAt, link, waiters, ops :=
+		c.src1, c.src2, c.addr, c.readyAt, c.link, c.waiters, c.ops
+	rdy, nextRdy, unb, done, wakeBuf, mshr :=
+		c.rdy, c.nextRdy, c.unb, c.done, c.wakeBuf, c.mshrBusy
 	*c = Core{
 		Cfg:           cfg,
 		Gen:           gen,
 		Pred:          pred,
 		ICache:        ic,
 		DCache:        dc,
-		ring:          ring,
+		src1:          src1,
+		src2:          src2,
+		addr:          addr,
+		readyAt:       readyAt,
+		link:          link,
+		waiters:       waiters,
+		ops:           ops,
 		ringMask:      uint64(ringLen - 1),
 		rdy:           rdy,
 		nextRdy:       nextRdy,
 		unb:           unb,
 		done:          done,
 		wakeBuf:       wakeBuf,
-		fetchBuf:      fetchBuf,
-		fetchMask:     fbLen - 1,
 		mshrBusy:      mshr,
 		nextSeq:       1,
 		head:          1,
@@ -471,11 +510,6 @@ func build(cfg Config, gen InstrSource, pred *bpred.Predictor, ic FetchCache, dc
 	}
 	c.genFast, _ = gen.(*workload.Generator)
 	return c
-}
-
-// slot maps a sequence number to its ring entry.
-func (c *Core) slot(seq uint64) *entry {
-	return &c.ring[seq&c.ringMask]
 }
 
 // readyTime returns the earliest cycle at which producer seq's value is
@@ -498,17 +532,19 @@ func readyTime(done []uint64, mask, head, producer uint64) (uint64, bool) {
 
 // popRange counts un-issued entries in ring slots [a, b), a <= b.
 func (c *Core) popRange(a, b uint64) int {
+	unb := c.unb
 	wa, wb := a>>6, b>>6
+	_ = unb[wb] // hoist the bounds check off the loop below (wb is the largest index)
 	loMask := ^(uint64(1)<<(a&63) - 1)
 	hiMask := uint64(1)<<(b&63) - 1
 	if wa == wb {
-		return bits.OnesCount64(c.unb[wa] & loMask & hiMask)
+		return bits.OnesCount64(unb[wa] & loMask & hiMask)
 	}
-	t := bits.OnesCount64(c.unb[wa] & loMask)
+	t := bits.OnesCount64(unb[wa] & loMask)
 	for w := wa + 1; w < wb; w++ {
-		t += bits.OnesCount64(c.unb[w])
+		t += bits.OnesCount64(unb[w])
 	}
-	return t + bits.OnesCount64(c.unb[wb]&hiMask)
+	return t + bits.OnesCount64(unb[wb]&hiMask)
 }
 
 // rank counts un-issued entries older than seq — the zero-based position
@@ -541,7 +577,7 @@ func (c *Core) rdyInsert(seq uint64) {
 // wheelInsert files seq to wake at cycle at.
 func (c *Core) wheelInsert(seq, at uint64) {
 	i := at & (wheelSize - 1)
-	c.ring[seq&c.ringMask].link = c.wheel[i]
+	c.link[seq&c.ringMask] = c.wheel[i]
 	c.wheel[i] = seq
 	c.wheelCount++
 }
@@ -567,72 +603,39 @@ func (c *Core) popWheel() {
 		return
 	}
 	c.wheel[wi] = 0
-	ring := c.ring
-	mask := uint64(len(ring) - 1)
+	link := c.link
+	readyAt := c.readyAt
+	mask := c.ringMask
 	for s != 0 {
-		e := &ring[s&mask]
-		nxt := e.link
-		e.link = 0
-		if e.readyAt == c.now {
+		i := s & mask
+		nxt := link[i]
+		link[i] = 0
+		if readyAt[i] == c.now {
 			c.rdyInsert(s)
 			c.wheelCount--
 		} else {
 			// A later lap: keep it in the same slot (readyAt is
 			// congruent to this cycle modulo the wheel size).
-			e.link = c.wheel[wi]
+			link[i] = c.wheel[wi]
 			c.wheel[wi] = s
 		}
 		s = nxt
 	}
 }
 
-// schedule derives entry seq's ready time if both producers have issued
-// and files the entry accordingly; otherwise it parks the entry on the
-// first still-unknown producer's waiter chain. cycle is the current cycle:
-// already-ready entries go straight to the ready list (they become
+// Scheduling — deriving an entry's ready time if both producers have
+// issued and filing it into the ready list / fast lane / wheel, or parking
+// it on the first still-unknown producer's waiter chain — is inlined at
+// its two call sites (dispatch and wakeWaiters) to reuse their loop
+// locals; an already-ready entry goes straight to the ready list, becoming
 // examinable next cycle, exactly when the reference scan would first see
-// them ready).
-func (c *Core) schedule(seq uint64, e *entry, cycle uint64) {
-	ring := c.ring
-	mask := uint64(len(ring) - 1)
-	head := c.head
-	done := c.done
-	t1, known := readyTime(done, mask, head, e.src1)
-	if !known {
-		p := &ring[e.src1&mask]
-		e.link = p.waiters
-		p.waiters = seq
-		return
-	}
-	t2, known := readyTime(done, mask, head, e.src2)
-	if !known {
-		p := &ring[e.src2&mask]
-		e.link = p.waiters
-		p.waiters = seq
-		return
-	}
-	if t2 > t1 {
-		t1 = t2
-	}
-	if t1 == 0 {
-		t1 = 1 // ready since dispatch; cycles start at 1
-	}
-	e.readyAt = t1
-	switch {
-	case t1 <= cycle:
-		c.rdyInsert(seq)
-	case t1 == cycle+1:
-		c.nextRdy[c.nextRdyLen] = seq
-		c.nextRdyLen++
-	default:
-		c.wheelInsert(seq, t1)
-	}
-}
+// it ready.
 
-// wakeWaiters re-schedules every entry that was waiting on p, which has
-// just issued at cycle. Each either files into the wheel (its ready time,
-// at least p's completion, is now known and strictly in the future) or
-// moves to its other, still-unknown producer's chain.
+// wakeWaiters re-schedules every entry that was waiting on the producer in
+// slot ps, which has just issued at cycle. Each either files into the wheel
+// (its ready time, at least the producer's completion, is now known and
+// strictly in the future) or moves to its other, still-unknown producer's
+// chain.
 //
 // Dispatch parks LIFO, so the chain runs youngest-first; the chain is
 // buffered and processed in reverse so wakes happen oldest-first. Only
@@ -640,23 +643,55 @@ func (c *Core) schedule(seq uint64, e *entry, cycle uint64) {
 // eventually, and an ascending wake order means the eventual insertions
 // are appends instead of shifts. Park order on a further producer's chain
 // changes too, but that again only permutes a future wake batch.
-func (c *Core) wakeWaiters(p *entry, cycle uint64) {
-	ring := c.ring
-	mask := uint64(len(ring) - 1)
+func (c *Core) wakeWaiters(ps uint64, cycle uint64) {
+	link := c.link
+	mask := c.ringMask
 	buf := c.wakeBuf
 	n := 0
-	for s := p.waiters; s != 0; {
-		e := &ring[s&mask]
+	for s := c.waiters[ps]; s != 0; {
+		i := s & mask
 		buf[n] = s
 		n++
-		nxt := e.link
-		e.link = 0
+		nxt := link[i]
+		link[i] = 0
 		s = nxt
 	}
-	p.waiters = 0
+	c.waiters[ps] = 0
+	done := c.done
+	head := c.head
+	src1, src2 := c.src1, c.src2
 	for i := n - 1; i >= 0; i-- {
-		s := buf[i]
-		c.schedule(s, &ring[s&mask], cycle)
+		// schedule(buf[i], cycle), inlined to reuse the loop's locals —
+		// the call per woken entry was a measurable share of the wake
+		// path (see the matching inline in dispatch).
+		seq := buf[i]
+		s := seq & mask
+		if t1, known := readyTime(done, mask, head, src1[s]); !known {
+			p := src1[s] & mask
+			link[s] = c.waiters[p]
+			c.waiters[p] = seq
+		} else if t2, known := readyTime(done, mask, head, src2[s]); !known {
+			p := src2[s] & mask
+			link[s] = c.waiters[p]
+			c.waiters[p] = seq
+		} else {
+			if t2 > t1 {
+				t1 = t2
+			}
+			if t1 == 0 {
+				t1 = 1 // ready since dispatch; cycles start at 1
+			}
+			c.readyAt[s] = t1
+			switch {
+			case t1 <= cycle:
+				c.rdyInsert(seq)
+			case t1 == cycle+1:
+				c.nextRdy[c.nextRdyLen] = seq
+				c.nextRdyLen++
+			default:
+				c.wheelInsert(seq, t1)
+			}
+		}
 	}
 }
 
@@ -664,6 +699,14 @@ func (c *Core) wakeWaiters(p *entry, cycle uint64) {
 // already committed) and returns the cumulative statistics. Machine state —
 // caches, predictor, in-flight window — persists across calls, which is how
 // the harness implements warmup: Run(warmup), ResetStats, Run(measure).
+//
+// The loop body exists twice: the plain path, and a sampled path (1 cycle
+// in 1024, selected deterministically by the cycle counter) that wraps
+// each stage in wall-clock timing for the per-stage ns attribution in
+// /metrics. The two bodies perform the identical sequence of stage calls —
+// keep them in sync — so sampling cannot perturb simulation results; the
+// golden-fixture tests cover both paths, since cycle counts in the
+// thousands always cross sampled cycles.
 func (c *Core) Run(n uint64) Stats {
 	target := c.Stats.Instructions + n
 	start := c.now
@@ -675,6 +718,10 @@ func (c *Core) Run(n uint64) Stats {
 	c.icNext = 0
 	for c.Stats.Instructions < target {
 		c.now++
+		if c.now&stageSampleMask == 0 {
+			c.stepTimed()
+			continue
+		}
 		if c.now >= c.dcNext {
 			c.DCache.Tick(c.now)
 			c.dcNext = c.DCache.NextTickEvent()
@@ -700,7 +747,7 @@ func (c *Core) Run(n uint64) Stats {
 		if c.rdyLen != 0 && c.issue(c.now) {
 			active = true
 		}
-		if c.fetchLen != 0 && c.dispatch(c.now) {
+		if c.tail != c.nextSeq && c.dispatch(c.now) {
 			active = true
 		}
 		if c.fetch(c.now) {
@@ -714,6 +761,52 @@ func (c *Core) Run(n uint64) Stats {
 	return c.Stats
 }
 
+// stepTimed is one sampled cycle of Run's loop: the same stage sequence,
+// with each stage's wall-clock duration accumulated into stageNS.
+func (c *Core) stepTimed() {
+	c.stageSampled++
+	t := time.Now()
+	if c.now >= c.dcNext {
+		c.DCache.Tick(c.now)
+		c.dcNext = c.DCache.NextTickEvent()
+	}
+	switch c.icTick {
+	case icTickEvent:
+		if c.now >= c.icNext {
+			c.ICache.Tick(c.now)
+			c.icNext = c.ICache.(TickEventer).NextTickEvent()
+		}
+	case icTickEvery:
+		c.ICache.Tick(c.now)
+	}
+	c.stageNS[stageTick] += uint64(time.Since(t))
+	c.fuBlocked = false
+	t = time.Now()
+	if c.wheelCount != 0 || c.nextRdyLen != 0 {
+		c.popWheel()
+	}
+	active := c.commit(c.now)
+	c.stageNS[stageCommit] += uint64(time.Since(t))
+	t = time.Now()
+	if c.rdyLen != 0 && c.issue(c.now) {
+		active = true
+	}
+	c.stageNS[stageIssue] += uint64(time.Since(t))
+	t = time.Now()
+	if c.tail != c.nextSeq && c.dispatch(c.now) {
+		active = true
+	}
+	c.stageNS[stageDispatch] += uint64(time.Since(t))
+	t = time.Now()
+	if c.fetch(c.now) {
+		active = true
+	}
+	c.stageNS[stageFetch] += uint64(time.Since(t))
+	if !active && !c.fuBlocked && !c.DisableFastForward && c.icTick != icTickEvery {
+		c.fastForward()
+	}
+}
+
 // fastForward runs at the end of a provably idle cycle: nothing committed,
 // issued, dispatched or fetched, and no ready instruction was denied a
 // functional unit. Until the earliest scheduled event — an in-flight
@@ -725,7 +818,7 @@ func (c *Core) Run(n uint64) Stats {
 // The invariant that makes the jump bit-identical: instruction readiness,
 // commit eligibility and MSHR occupancy change only at recorded doneAt
 // times; fetch blockage changes only at fetchStall, at a branch issuing
-// (an active cycle), or at dispatch draining the buffer (idle ⇒ none);
+// (an active cycle), or at dispatch draining the backlog (idle ⇒ none);
 // and the decay machines do nothing between their scheduled rollovers and
 // adapter consultations, which both caches expose via NextTickEvent.
 func (c *Core) fastForward() {
@@ -760,7 +853,7 @@ func (c *Core) fastForward() {
 	// the same condition as this cycle (the stall cause cannot clear
 	// inside the region: next <= fetchStall whenever fetchStall is the
 	// binding cause, and a pending branch resolves only on active
-	// cycles). A full fetch buffer does not count as a stall, matching
+	// cycles). A full fetch backlog does not count as a stall, matching
 	// the reference loop.
 	if c.pendingBranch != 0 || c.now < c.fetchStall {
 		c.Stats.FetchStallCy += skipped
@@ -821,14 +914,15 @@ func (c *Core) issue(cycle uint64) bool {
 	}
 	fuCnt := [numFU]int{c.Cfg.IntALUs, c.Cfg.IntMulDivs, c.Cfg.FPALUs, c.Cfg.FPMulDivs, c.Cfg.MemPorts}
 	issued := 0
-	ring := c.ring
-	mask := uint64(len(ring) - 1)
+	mask := c.ringMask
+	ops := c.ops
+	addr := c.addr
 	width, scanLim := c.Cfg.IssueWidth, c.Cfg.ScanLimit
 	mshrCap := c.Cfg.MSHRs
 	hitLat := uint64(c.DCache.Cfg.HitLatency)
 	// Ranks only need checking when the un-issued population can exceed
 	// the scan limit at all. Entries issued during this walk are removed
-	// from the Fenwick tree, deflating later ranks by exactly the issued
+	// from the bitmap, deflating later ranks by exactly the issued
 	// count k (they are all older), so k is added back: the reference
 	// scan's positions are fixed at the start of its cycle.
 	checkRank := c.unissued > scanLim
@@ -844,10 +938,10 @@ func (c *Core) issue(cycle uint64) bool {
 			// Beyond the scan horizon; so is everything younger.
 			break
 		}
-		e := &ring[seq&mask]
+		s := seq & mask
 		ok := false
 		var lat uint64
-		op := e.op & 15
+		op := ops[s] & 15
 		cls := fuClassTab[op]
 		switch {
 		case fuCnt[cls] == 0:
@@ -863,7 +957,7 @@ func (c *Core) issue(cycle uint64) bool {
 			} else {
 				fuCnt[fuMem]--
 				c.Stats.Loads++
-				lat = uint64(c.DCache.Access(e.addr, false, cycle))
+				lat = uint64(c.DCache.Access(addr[s], false, cycle))
 				if lat > hitLat && mshrCap > 0 {
 					c.mshrBusy[c.mshrLen] = cycle + lat
 					c.mshrLen++
@@ -876,7 +970,7 @@ func (c *Core) issue(cycle uint64) bool {
 			// Store data is buffered; dependents don't wait on
 			// the array write. The access happens now for cache
 			// state and energy.
-			c.DCache.Access(e.addr, true, cycle)
+			c.DCache.Access(addr[s], true, cycle)
 			lat = 1
 			ok = true
 		}
@@ -892,14 +986,13 @@ func (c *Core) issue(cycle uint64) bool {
 		if cls == fuMem {
 			d |= 1
 		}
-		s := seq & mask
 		c.done[s] = d
 		c.unb[s>>6] &^= 1 << (s & 63)
 		c.unissued--
 		issued++
 		k++
-		if e.waiters != 0 {
-			c.wakeWaiters(e, cycle)
+		if c.waiters[s] != 0 {
+			c.wakeWaiters(s, cycle)
 		}
 	}
 	if k > 0 {
@@ -930,62 +1023,49 @@ func (c *Core) mshrAvailable(cycle uint64) bool {
 	return n < c.Cfg.MSHRs
 }
 
-// dispatch moves fetched instructions into the RUU/LSQ, registers each
-// with the event-driven scheduler, and reports whether anything moved.
+// dispatch moves fetched instructions — already decoded into their ring
+// slots by fetch — into the RUU/LSQ window, registers each with the
+// event-driven scheduler, and reports whether anything moved. The pending
+// backlog is the seq interval [tail, nextSeq).
 func (c *Core) dispatch(cycle uint64) bool {
 	moved := false
 	head, ruuSize := c.head, uint64(c.Cfg.RUUSize)
 	lsqSize := c.Cfg.LSQSize
-	ring := c.ring
 	done := c.done
-	mask := uint64(len(ring) - 1)
-	for w := 0; w < c.Cfg.DecodeWidth && c.fetchLen > 0; w++ {
-		if c.tail-head >= ruuSize {
+	mask := c.ringMask
+	src1, src2 := c.src1, c.src2
+	tail, end := c.tail, c.nextSeq
+	for w := 0; w < c.Cfg.DecodeWidth && tail < end; w++ {
+		if tail-head >= ruuSize {
 			break
 		}
-		f := &c.fetchBuf[c.fetchHead]
-		isMem := f.ins.Op.IsMem()
+		seq := tail
+		s := seq & mask
+		isMem := c.ops[s].IsMem()
 		if isMem && c.lsqUsed >= lsqSize {
 			break
 		}
-		seq := f.seq
-		e := &ring[seq&mask]
-		// Field-by-field initialization of only the fields whose stale
-		// values could be observed. readyAt/link are always written
-		// before their next read (at scheduling and wheel/waiter filing
-		// respectively), and waiters is invariantly zero on a recycled
-		// slot — the previous occupant's chain was drained when it
-		// issued.
-		if d := uint64(uint32(f.ins.Src1)); d != 0 && seq > d {
-			e.src1 = seq - d
-		} else {
-			e.src1 = 0
-		}
-		if d := uint64(uint32(f.ins.Src2)); d != 0 && seq > d {
-			e.src2 = seq - d
-		} else {
-			e.src2 = 0
-		}
-		e.addr = f.ins.Addr
-		e.op = f.ins.Op
 		if isMem {
 			c.lsqUsed++
 		}
-		c.tail = seq + 1
-		s := seq & mask
+		tail = seq + 1
 		done[s] = notIssued
 		c.unb[s>>6] |= 1 << (s & 63)
 		c.unissued++
-		// schedule(seq, e, cycle), inlined to reuse the loop's locals —
+		// schedule(seq, cycle), inlined to reuse the loop's locals —
 		// the per-instruction call was a measurable share of dispatch.
-		if t1, known := readyTime(done, mask, head, e.src1); !known {
-			p := &ring[e.src1&mask]
-			e.link = p.waiters
-			p.waiters = seq
-		} else if t2, known := readyTime(done, mask, head, e.src2); !known {
-			p := &ring[e.src2&mask]
-			e.link = p.waiters
-			p.waiters = seq
+		// readyAt/link are always written before their next read (at
+		// scheduling and wheel/waiter filing respectively), and waiters
+		// is invariantly zero on a recycled slot — the previous
+		// occupant's chain was drained when it issued.
+		if t1, known := readyTime(done, mask, head, src1[s]); !known {
+			ps := src1[s] & mask
+			c.link[s] = c.waiters[ps]
+			c.waiters[ps] = seq
+		} else if t2, known := readyTime(done, mask, head, src2[s]); !known {
+			ps := src2[s] & mask
+			c.link[s] = c.waiters[ps]
+			c.waiters[ps] = seq
 		} else {
 			if t2 > t1 {
 				t1 = t2
@@ -993,7 +1073,7 @@ func (c *Core) dispatch(cycle uint64) bool {
 			if t1 == 0 {
 				t1 = 1 // ready since dispatch; cycles start at 1
 			}
-			e.readyAt = t1
+			c.readyAt[s] = t1
 			switch {
 			case t1 <= cycle:
 				c.rdyInsert(seq)
@@ -1004,14 +1084,15 @@ func (c *Core) dispatch(cycle uint64) bool {
 				c.wheelInsert(seq, t1)
 			}
 		}
-		c.fetchHead = (c.fetchHead + 1) & c.fetchMask
-		c.fetchLen--
 		moved = true
 	}
+	c.tail = tail
 	return moved
 }
 
-// fetch brings up to FetchWidth instructions into the fetch buffer,
+// fetch brings up to FetchWidth instructions into the pending backlog,
+// decoding each straight into its ring slot (producer distances converted
+// to absolute seqs here, since the slot and seq are fixed at fetch time),
 // modelling I-cache misses and branch-predictor redirects, and reports
 // whether any instruction was fetched. Stall bookkeeping alone does not
 // count as activity — the fast-forward replays it in bulk.
@@ -1037,24 +1118,34 @@ func (c *Core) fetch(cycle uint64) bool {
 		c.Stats.FetchStallCy++
 		return false
 	}
-	if c.fetchLen >= 2*c.Cfg.FetchWidth {
+	if c.nextSeq-c.tail >= uint64(2*c.Cfg.FetchWidth) {
 		return false
 	}
+	mask := c.ringMask
+	ins := &c.scratch
 	for w := 0; w < c.Cfg.FetchWidth; w++ {
-		// Generate straight into the ring slot: Gen.Next overwrites every
-		// Instr field on all paths, so no stale state leaks through and
-		// the struct copy of the old append-based queue disappears.
-		f := &c.fetchBuf[(c.fetchHead+c.fetchLen)&c.fetchMask]
-		ins := &f.ins
+		// Generate into the long-lived scratch slot: Gen.Next overwrites
+		// every Instr field on all paths, so no stale state leaks through.
 		if g := c.genFast; g != nil {
 			g.Next(ins)
 		} else {
 			c.Gen.Next(ins)
 		}
 		seq := c.nextSeq
-		c.nextSeq++
-		f.seq = seq
-		c.fetchLen++
+		c.nextSeq = seq + 1
+		s := seq & mask
+		if d := uint64(uint32(ins.Src1)); d != 0 && seq > d {
+			c.src1[s] = seq - d
+		} else {
+			c.src1[s] = 0
+		}
+		if d := uint64(uint32(ins.Src2)); d != 0 && seq > d {
+			c.src2[s] = seq - d
+		} else {
+			c.src2[s] = 0
+		}
+		c.addr[s] = ins.Addr
+		c.ops[s] = ins.Op
 
 		stop := false
 

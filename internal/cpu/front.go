@@ -147,10 +147,11 @@ func (c *Core) fetchReplay(cycle uint64) bool {
 		c.Stats.FetchStallCy++
 		return false
 	}
-	if c.fetchLen >= 2*c.Cfg.FetchWidth {
+	if c.nextSeq-c.tail >= uint64(2*c.Cfg.FetchWidth) {
 		return false
 	}
 	recs := c.front.Recs
+	mask := c.ringMask
 	for w := 0; w < c.Cfg.FetchWidth; w++ {
 		if c.frontPos >= len(recs) {
 			// The front was sized to the recorded trace length
@@ -163,12 +164,21 @@ func (c *Core) fetchReplay(cycle uint64) bool {
 		}
 		rec := &recs[c.frontPos]
 		c.frontPos++
-		f := &c.fetchBuf[(c.fetchHead+c.fetchLen)&c.fetchMask]
-		f.ins = rec.Ins
 		seq := c.nextSeq
-		c.nextSeq++
-		f.seq = seq
-		c.fetchLen++
+		c.nextSeq = seq + 1
+		s := seq & mask
+		if d := uint64(uint32(rec.Ins.Src1)); d != 0 && seq > d {
+			c.src1[s] = seq - d
+		} else {
+			c.src1[s] = 0
+		}
+		if d := uint64(uint32(rec.Ins.Src2)); d != 0 && seq > d {
+			c.src2[s] = seq - d
+		} else {
+			c.src2[s] = 0
+		}
+		c.addr[s] = rec.Ins.Addr
+		c.ops[s] = rec.Ins.Op
 
 		stop := false
 		flags := rec.Flags

@@ -12,6 +12,20 @@ var (
 	obsBranches   = obs.Default.Counter("sim_branches_total")
 	obsMispred    = obs.Default.Counter("sim_mispredicts_total")
 	obsFetchStall = obs.Default.Counter("sim_fetch_stall_cycles_total")
+
+	// Sampled per-stage wall-clock attribution (see stageSampleMask in
+	// cpu.go): ns spent in each pipeline stage on the 1-in-1024 sampled
+	// cycles, plus the sampled-cycle count to normalize by. ns-per-sampled-
+	// cycle per stage is the backend's live self-profile — the same
+	// breakdown a pprof run gives, but always on and essentially free.
+	obsStageNS = [numStage]obs.Counter{
+		stageTick:     obs.Default.Counter("sim_stage_tick_ns_total"),
+		stageCommit:   obs.Default.Counter("sim_stage_commit_ns_total"),
+		stageIssue:    obs.Default.Counter("sim_stage_issue_ns_total"),
+		stageDispatch: obs.Default.Counter("sim_stage_dispatch_ns_total"),
+		stageFetch:    obs.Default.Counter("sim_stage_fetch_ns_total"),
+	}
+	obsStageSampled = obs.Default.Counter("sim_stage_sampled_cycles_total")
 )
 
 // ObsFlush adds the Stats delta since the previous flush to sh. The caller
@@ -27,4 +41,10 @@ func (c *Core) ObsFlush(sh *obs.Shard) {
 	sh.Add(obsMispred.ID(), obs.Delta(cur.Mispredicts, prev.Mispredicts))
 	sh.Add(obsFetchStall.ID(), obs.Delta(cur.FetchStallCy, prev.FetchStallCy))
 	c.obsPrev = cur
+	for i := range c.stageNS {
+		sh.Add(obsStageNS[i].ID(), obs.Delta(c.stageNS[i], c.obsPrevStage[i]))
+		c.obsPrevStage[i] = c.stageNS[i]
+	}
+	sh.Add(obsStageSampled.ID(), obs.Delta(c.stageSampled, c.obsPrevSamp))
+	c.obsPrevSamp = c.stageSampled
 }

@@ -1,0 +1,107 @@
+package decay
+
+import "testing"
+
+// TestPromoteAtSelectorSaturation pins the selector ceiling: Promote at
+// sel=3 is a no-op for both the selector and the Promotions stat.
+func TestPromoteAtSelectorSaturation(t *testing.T) {
+	m := NewPerLine(2, 1024)
+	for k := 0; k < 3; k++ {
+		m.Promote(0)
+	}
+	if m.Sel(0) != selMax || m.Promotions != 3 {
+		t.Fatalf("sel=%d promotions=%d after 3 promotes, want 3/3", m.Sel(0), m.Promotions)
+	}
+	m.Promote(0)
+	if m.Sel(0) != selMax || m.Promotions != 3 {
+		t.Fatalf("saturated promote moved state: sel=%d promotions=%d", m.Sel(0), m.Promotions)
+	}
+	// Floor side: Demote at sel=0 is equally inert.
+	m.Demote(1)
+	if m.Sel(1) != 0 || m.Demotions != 0 {
+		t.Fatalf("floor demote moved state: sel=%d demotions=%d", m.Sel(1), m.Demotions)
+	}
+}
+
+// TestLineThresholdAtSaturation pins the longest per-line interval: at
+// sel=3 the threshold is 4<<6 = 256 rollovers, so an idle line expires at
+// exactly the 257th rollover and not one earlier.
+func TestLineThresholdAtSaturation(t *testing.T) {
+	m := NewPerLine(1, 1024)
+	for k := 0; k < 3; k++ {
+		m.Promote(0)
+	}
+	if th := m.lineThreshold(0); th != 256 {
+		t.Fatalf("lineThreshold at sel=3 = %d, want 256", th)
+	}
+	q := uint64(256) // 1024/4
+	fired := 0
+	m.Advance(256*q, func(int) { fired++ })
+	if fired != 0 {
+		t.Fatalf("line expired after %d rollovers, before the 257-rollover threshold", 256)
+	}
+	m.Advance(257*q, func(int) { fired++ })
+	if fired != 1 {
+		t.Fatalf("fired=%d at the 257th rollover, want 1", fired)
+	}
+}
+
+// TestRolloverExactlyAtNextRoll pins the boundary comparison: a cycle one
+// short of NextRollover does nothing; the exact cycle rolls.
+func TestRolloverExactlyAtNextRoll(t *testing.T) {
+	m := New(1, 4096, PolicyNoAccess)
+	nr := m.NextRollover()
+	m.Advance(nr-1, func(int) {})
+	if m.Rollovers != 0 {
+		t.Fatalf("rolled %d at cycle nextRoll-1", m.Rollovers)
+	}
+	m.Advance(nr, func(int) {})
+	if m.Rollovers != 1 {
+		t.Fatalf("Rollovers=%d at cycle nextRoll, want 1", m.Rollovers)
+	}
+	if m.NextRollover() != nr+1024 {
+		t.Fatalf("NextRollover=%d after roll, want %d", m.NextRollover(), nr+1024)
+	}
+}
+
+// TestSetIntervalPreservesCounters pins the mid-run re-set contract the
+// adaptive schemes rely on: local counters keep their materialized values,
+// only the rollover schedule is rebuilt from the current cycle.
+func TestSetIntervalPreservesCounters(t *testing.T) {
+	m := New(2, 4096, PolicyNoAccess)
+	m.Advance(2*1024, func(int) {}) // two rollovers: counters at 2
+	m.Touch(1)                      // line 1 back to 0
+	if m.Counter(0) != 2 || m.Counter(1) != 0 {
+		t.Fatalf("pre-set counters = %d,%d, want 2,0", m.Counter(0), m.Counter(1))
+	}
+	m.SetInterval(1024, 2048)
+	if m.Counter(0) != 2 || m.Counter(1) != 0 {
+		t.Fatalf("SetInterval changed counters: %d,%d", m.Counter(0), m.Counter(1))
+	}
+	if m.NextRollover() != 2048+256 {
+		t.Fatalf("NextRollover=%d, want rescheduled 2304", m.NextRollover())
+	}
+	// Line 0 needs one bump to saturate (2->3) then one rollover to fire:
+	// under the new quarter of 256 that is cycle 2048+2*256.
+	var fired []int
+	m.Advance(2048+2*256, func(i int) { fired = append(fired, i) })
+	if len(fired) != 1 || fired[0] != 0 {
+		t.Fatalf("fired=%v after shrink, want [0]", fired)
+	}
+}
+
+// TestDemotePullsExpiryEarlier exercises the one wheel path where an entry
+// must move to an earlier bucket: a demotion shrinking the threshold below
+// the line's accumulated count fires on the very next rollover.
+func TestDemotePullsExpiryEarlier(t *testing.T) {
+	m := NewPerLine(1, 1024)
+	m.Promote(0) // sel=1, threshold 16
+	q := uint64(256)
+	m.Advance(8*q, func(int) { t.Fatal("premature expiry") }) // count = 8 of 16
+	m.Demote(0)                                               // threshold back to 4; 8 >= 4
+	fired := 0
+	m.Advance(9*q, func(int) { fired++ })
+	if fired != 1 {
+		t.Fatalf("fired=%d on the rollover after a saturating demote, want 1", fired)
+	}
+}

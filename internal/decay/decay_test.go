@@ -116,15 +116,26 @@ func TestStatsCounts(t *testing.T) {
 	}
 }
 
-func TestExpiryIdempotentCallback(t *testing.T) {
-	// Saturated lines keep firing the callback each rollover; the
-	// callback owner must tolerate that. Verify the machine keeps
-	// reporting them (leakctl's expire() is the idempotent side).
+func TestExpiryFiresOncePerTransition(t *testing.T) {
+	// The lazy machine fires the expire callback exactly once per
+	// transition into the expired state (the eager sweep re-fired every
+	// rollover and relied on callback idempotence). The first-fire cycle
+	// is unchanged, Stats.Expiries still counts the saturated line on
+	// every subsequent rollover, and a touch re-arms the callback.
 	m := New(1, 1024, PolicyNoAccess)
 	fired := 0
 	m.Advance(10*256, func(int) { fired++ })
-	if fired < 2 {
-		t.Fatalf("saturated line reported %d times, want repeated reports", fired)
+	if fired != 1 {
+		t.Fatalf("saturated line fired %d times over 10 rollovers, want exactly 1", fired)
+	}
+	// Rollovers 1-3 bump 0->3, rollovers 4-10 see a saturated counter.
+	if m.Expiries != 7 {
+		t.Fatalf("Expiries = %d, want 7 (one per rollover while saturated)", m.Expiries)
+	}
+	m.Touch(0)
+	m.Advance(20*256, func(int) { fired++ })
+	if fired != 2 {
+		t.Fatalf("re-saturation after touch fired %d times total, want 2", fired)
 	}
 }
 

@@ -1,0 +1,274 @@
+package decay
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// eagerMachine is the pre-lazy decay implementation, kept verbatim as the
+// equivalence oracle: a literal O(lines) sweep per rollover. Its expire
+// callback re-fires every rollover for a saturated line; firstFires filters
+// that stream down to transition events (tracked from the oracle's own
+// concrete counters, not the lazy machine's logic) so the two
+// implementations' callback streams are comparable.
+type eagerMachine struct {
+	interval uint64
+	quarter  uint64
+	nextRoll uint64
+	rolls    uint64
+	policy   Policy
+	counters []uint8
+
+	perLine    bool
+	sel        []uint8
+	rollCounts []uint16
+
+	rollovers   uint64
+	localBumps  uint64
+	localResets uint64
+	expiries    uint64
+	promotions  uint64
+	demotions   uint64
+
+	fired []bool // per line: expire reported and not reset below threshold since
+}
+
+func newEager(lines int, interval uint64, policy Policy) *eagerMachine {
+	m := &eagerMachine{policy: policy, counters: make([]uint8, lines), fired: make([]bool, lines)}
+	m.setInterval(interval, 0)
+	return m
+}
+
+func newEagerPerLine(lines int, base uint64) *eagerMachine {
+	m := newEager(lines, base, PolicyNoAccess)
+	m.perLine = true
+	m.sel = make([]uint8, lines)
+	m.rollCounts = make([]uint16, lines)
+	return m
+}
+
+func (m *eagerMachine) lineThreshold(i int) uint16 { return uint16(4) << (2 * m.sel[i]) }
+
+func (m *eagerMachine) promote(i int) {
+	if !m.perLine || m.sel[i] >= selMax {
+		return
+	}
+	m.sel[i]++
+	m.promotions++
+	if m.fired[i] && m.rollCounts[i] < m.lineThreshold(i) {
+		m.fired[i] = false // back below threshold: next saturation is a new transition
+	}
+}
+
+func (m *eagerMachine) demote(i int) {
+	if !m.perLine || m.sel[i] == 0 {
+		return
+	}
+	m.sel[i]--
+	m.demotions++
+}
+
+func (m *eagerMachine) setInterval(interval, cycle uint64) {
+	m.interval = interval
+	if interval == 0 {
+		m.quarter = 0
+		m.nextRoll = ^uint64(0)
+		return
+	}
+	q := interval / 4
+	if q == 0 {
+		q = 1
+	}
+	m.quarter = q
+	m.nextRoll = cycle + q
+	m.rolls = 0
+}
+
+func (m *eagerMachine) touch(i int) {
+	if m.interval == 0 || m.policy == PolicySimple {
+		return
+	}
+	if m.perLine {
+		if m.rollCounts[i] != 0 {
+			m.rollCounts[i] = 0
+			m.localResets++
+		}
+		m.fired[i] = false
+		return
+	}
+	if m.counters[i] != 0 {
+		m.counters[i] = 0
+		m.localResets++
+	}
+	m.fired[i] = false
+}
+
+// advance is the eager sweep; it returns every callback invocation in order
+// and, separately, just the transition (first-fire) events.
+func (m *eagerMachine) advance(cycle uint64) (all, first []int) {
+	if m.interval == 0 {
+		return nil, nil
+	}
+	expire := func(i int) {
+		all = append(all, i)
+		if !m.fired[i] {
+			m.fired[i] = true
+			first = append(first, i)
+		}
+	}
+	for cycle >= m.nextRoll {
+		m.rollovers++
+		m.rolls++
+		switch {
+		case m.perLine:
+			for i := range m.rollCounts {
+				if th := m.lineThreshold(i); m.rollCounts[i] >= th {
+					m.expiries++
+					expire(i)
+					continue
+				}
+				m.rollCounts[i]++
+				m.localBumps++
+			}
+		case m.policy == PolicyNoAccess:
+			for i := range m.counters {
+				if m.counters[i] >= localMax {
+					m.expiries++
+					expire(i)
+					continue
+				}
+				m.counters[i]++
+				m.localBumps++
+			}
+		case m.policy == PolicySimple:
+			if m.rolls%4 == 0 {
+				for i := range m.counters {
+					m.expiries++
+					expire(i)
+				}
+			}
+		}
+		m.nextRoll += m.quarter
+	}
+	return all, first
+}
+
+func (m *eagerMachine) counter(i int) uint8 {
+	if m.perLine || m.policy == PolicySimple {
+		return 0
+	}
+	return m.counters[i]
+}
+
+// checkState compares every observable the lazy machine exposes against the
+// oracle after each operation.
+func checkState(t *testing.T, step int, lazy *Machine, ref *eagerMachine, lines int) {
+	t.Helper()
+	if lazy.Rollovers != ref.rollovers || lazy.LocalBumps != ref.localBumps ||
+		lazy.LocalResets != ref.localResets || lazy.Expiries != ref.expiries ||
+		lazy.Promotions != ref.promotions || lazy.Demotions != ref.demotions {
+		t.Fatalf("step %d: stats diverged\nlazy:  roll=%d bump=%d reset=%d exp=%d prom=%d dem=%d\neager: roll=%d bump=%d reset=%d exp=%d prom=%d dem=%d",
+			step,
+			lazy.Rollovers, lazy.LocalBumps, lazy.LocalResets, lazy.Expiries, lazy.Promotions, lazy.Demotions,
+			ref.rollovers, ref.localBumps, ref.localResets, ref.expiries, ref.promotions, ref.demotions)
+	}
+	if lazy.NextRollover() != ref.nextRoll {
+		t.Fatalf("step %d: NextRollover lazy=%d eager=%d", step, lazy.NextRollover(), ref.nextRoll)
+	}
+	for i := 0; i < lines; i++ {
+		if lazy.Counter(i) != ref.counter(i) {
+			t.Fatalf("step %d: Counter(%d) lazy=%d eager=%d", step, i, lazy.Counter(i), ref.counter(i))
+		}
+		if ref.perLine && lazy.Sel(i) != ref.sel[i] {
+			t.Fatalf("step %d: Sel(%d) lazy=%d eager=%d", step, i, lazy.Sel(i), ref.sel[i])
+		}
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLazyEagerEquivalence drives the lazy machine and the eager oracle
+// through identical randomized operation sequences — advances (including
+// multi-rollover jumps and exact-boundary landings), touches, promotions,
+// demotions and mid-run interval re-sets — across all three modes, and
+// requires identical counters, stats, rollover schedules and expiry streams
+// (transition events, in the same ascending order) at every step.
+func TestLazyEagerEquivalence(t *testing.T) {
+	type mode int
+	const (
+		modeNoAccess mode = iota
+		modeSimple
+		modePerLine
+	)
+	intervals := []uint64{4, 6, 64, 1024, 4096}
+	for _, md := range []mode{modeNoAccess, modeSimple, modePerLine} {
+		for seed := int64(0); seed < 12; seed++ {
+			rng := rand.New(rand.NewSource(seed*997 + int64(md)))
+			lines := 1 + rng.Intn(33)
+			iv := intervals[rng.Intn(len(intervals))]
+			var lazy *Machine
+			var ref *eagerMachine
+			switch md {
+			case modeNoAccess:
+				lazy, ref = New(lines, iv, PolicyNoAccess), newEager(lines, iv, PolicyNoAccess)
+			case modeSimple:
+				lazy, ref = New(lines, iv, PolicySimple), newEager(lines, iv, PolicySimple)
+			case modePerLine:
+				lazy, ref = NewPerLine(lines, iv), newEagerPerLine(lines, iv)
+			}
+			cycle := uint64(0)
+			for step := 0; step < 4000; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // advance, sometimes exactly onto the boundary
+					if rng.Intn(3) == 0 && lazy.NextRollover() != ^uint64(0) {
+						cycle = lazy.NextRollover()
+					} else {
+						q := lazy.Interval() / 4
+						if q == 0 {
+							q = 64
+						}
+						cycle += rng.Uint64() % (3*q + 2)
+					}
+					var lazyFires []int
+					lazy.Advance(cycle, func(i int) { lazyFires = append(lazyFires, i) })
+					allFires, firstFires := ref.advance(cycle)
+					want := firstFires
+					if md == modeSimple {
+						want = allFires // blanket policy: identical raw streams
+					}
+					if !sameInts(lazyFires, want) {
+						t.Fatalf("mode %d seed %d step %d: fire stream diverged at cycle %d\nlazy:  %v\neager: %v",
+							md, seed, step, cycle, lazyFires, want)
+					}
+				case op < 7:
+					i := rng.Intn(lines)
+					lazy.Touch(i)
+					ref.touch(i)
+				case op < 8 && md == modePerLine:
+					i := rng.Intn(lines)
+					lazy.Promote(i)
+					ref.promote(i)
+				case op < 9 && md == modePerLine:
+					i := rng.Intn(lines)
+					lazy.Demote(i)
+					ref.demote(i)
+				case op >= 9:
+					niv := intervals[rng.Intn(len(intervals))]
+					lazy.SetInterval(niv, cycle)
+					ref.setInterval(niv, cycle)
+				}
+				checkState(t, step, lazy, ref, lines)
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ package leakctl
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"hotleakage/internal/cache"
 	"hotleakage/internal/decay"
@@ -215,14 +216,13 @@ func (e Energy) Total() float64 {
 	return e.AccessJ + e.CounterJ + e.TransitionJ + e.WritebackJ
 }
 
-type line struct {
-	tag     uint64
-	valid   bool
-	dirty   bool
-	standby bool
-	hadLive bool // gated: standby and contents were live when decayed
-	lastUse uint64
-}
+// Per-line state bits in DCache.flags.
+const (
+	lineValid   uint8 = 1 << iota
+	lineDirty
+	lineStandby
+	lineHadLive // gated: standby and contents were live when decayed
+)
 
 // DCache is the leakage-controlled L1 data cache.
 type DCache struct {
@@ -242,7 +242,13 @@ type DCache struct {
 	TechE   power.TechniqueEnergy
 	Machine *decay.Machine
 
-	lines     []line
+	// Line state, struct-of-arrays: the way-probe loop on every access
+	// reads only flags and tags, so splitting the old per-line struct
+	// keeps the probed footprint to nine bytes per way instead of a
+	// 32-byte struct; lastUse is touched only on hits and fills.
+	tags      []uint64
+	lastUse   []uint64
+	flags     []uint8
 	assoc     int
 	setMask   uint64
 	lineShift uint
@@ -259,12 +265,24 @@ type DCache struct {
 	statsStart      uint64        // cycle at which measurement began
 	machineBase     decay.Machine // counter-stat snapshot at measurement start
 
+	// Sampled next-level latency attribution: wall-clock ns spent inside
+	// Next.Access on the 1-in-16 sampled misses (see l2SampleMask), plus
+	// the sampled-miss count to normalize by.
+	l2NS      uint64
+	l2Sampled uint64
+
 	// Observability flush state (see obs.go): counter IDs resolved once,
 	// plus the Stats/AdaptChanges values at the last flush.
-	obsIDs       *dcacheObsIDs
-	obsPrev      Stats
-	obsPrevAdapt uint64
+	obsIDs        *dcacheObsIDs
+	obsPrev       Stats
+	obsPrevAdapt  uint64
+	obsPrevL2NS   uint64
+	obsPrevL2Samp uint64
 }
+
+// l2SampleMask selects which misses get wall-clock timing of the
+// next-level access: miss counts with the masked bits zero, i.e. 1 in 16.
+const l2SampleMask = 15
 
 // New builds a controlled L1 D-cache over next. Technique TechNone with
 // Interval 0 is the baseline. Invalid cache or control configurations are
@@ -292,7 +310,9 @@ func New(p *tech.Params, cfg cache.Config, params Params, next cache.Level) (*DC
 		AccessE: power.NewCacheEnergy(p, cfg.Geometry()),
 		TechE:   power.NewTechniqueEnergy(p, cfg.LineBytes, params.Technique == TechGated),
 		Machine: machine,
-		lines:   make([]line, nlines),
+		tags:    make([]uint64, nlines),
+		lastUse: make([]uint64, nlines),
+		flags:   make([]uint8, nlines),
 		assoc:   cfg.Assoc,
 		setMask: uint64(sets - 1),
 	}
@@ -321,7 +341,7 @@ func (d *DCache) Reset(p *tech.Params, params Params, next cache.Level) error {
 	if err := params.Validate(); err != nil {
 		return err
 	}
-	nlines := len(d.lines)
+	nlines := len(d.flags)
 	machine := decay.New(nlines, params.Interval, params.Policy)
 	if params.PerLineAdaptive && params.Interval != 0 {
 		machine = decay.NewPerLine(nlines, params.Interval)
@@ -336,7 +356,9 @@ func (d *DCache) Reset(p *tech.Params, params Params, next cache.Level) error {
 	d.AccessE = power.NewCacheEnergy(p, d.Cfg.Geometry())
 	d.TechE = power.NewTechniqueEnergy(p, d.Cfg.LineBytes, params.Technique == TechGated)
 	d.Machine = machine
-	clear(d.lines)
+	clear(d.tags)
+	clear(d.lastUse)
+	clear(d.flags)
 	d.useStamp = 0
 	d.curCycle = 0
 	d.standbyCount = 0
@@ -347,8 +369,12 @@ func (d *DCache) Reset(p *tech.Params, params Params, next cache.Level) error {
 	d.finalCycles = 0
 	d.statsStart = 0
 	d.machineBase = decay.Machine{}
+	d.l2NS = 0
+	d.l2Sampled = 0
 	d.obsPrev = Stats{}
 	d.obsPrevAdapt = 0
+	d.obsPrevL2NS = 0
+	d.obsPrevL2Samp = 0
 	return nil
 }
 
@@ -369,7 +395,7 @@ func (d *DCache) Name() string { return d.Cfg.Name }
 func (d *DCache) HitLat() int { return d.Cfg.HitLatency }
 
 // Lines returns the number of cache lines under control.
-func (d *DCache) Lines() int { return len(d.lines) }
+func (d *DCache) Lines() int { return len(d.flags) }
 
 // index splits a byte address into set and tag.
 func (d *DCache) index(addr uint64) (set, tag uint64) {
@@ -387,8 +413,8 @@ func (d *DCache) occSync(cycle uint64) {
 
 // expire is the decay callback: move line i to standby.
 func (d *DCache) expire(i int) {
-	l := &d.lines[i]
-	if !l.valid || l.standby {
+	f := d.flags[i]
+	if f&lineValid == 0 || f&lineStandby != 0 {
 		return
 	}
 	d.occSync(d.curCycle)
@@ -397,25 +423,24 @@ func (d *DCache) expire(i int) {
 	d.settleDebt += uint64(d.P.SettleSleep)
 
 	if d.P.Technique == TechGated {
-		if l.dirty {
+		if f&lineDirty != 0 {
 			// The discarded line's contents must survive: write
 			// back before disconnecting (cache-decay behaviour).
 			d.Stats.DecayWritebacks++
 			d.Energy.WritebackJ += d.AccessE.LineRead
 			d.writebackToNext(i)
-			l.dirty = false
+			f &^= lineDirty
 		}
-		l.hadLive = true
+		f |= lineHadLive
 	}
-	l.standby = true
+	d.flags[i] = f | lineStandby
 	d.standbyCount++
 }
 
 // writebackToNext pushes line i's contents to the next level.
 func (d *DCache) writebackToNext(i int) {
 	set := uint64(i / d.assoc)
-	l := &d.lines[i]
-	addr := ((l.tag << d.tagShift) | set) << d.lineShift
+	addr := ((d.tags[i] << d.tagShift) | set) << d.lineShift
 	if d.Next != nil {
 		d.Next.Access(addr, true, d.curCycle)
 	}
@@ -423,13 +448,11 @@ func (d *DCache) writebackToNext(i int) {
 
 // wake returns line i to the active state.
 func (d *DCache) wake(i int) {
-	l := &d.lines[i]
-	if !l.standby {
+	if d.flags[i]&lineStandby == 0 {
 		return
 	}
 	d.occSync(d.curCycle)
-	l.standby = false
-	l.hadLive = false
+	d.flags[i] &^= lineStandby | lineHadLive
 	d.standbyCount--
 	d.Stats.WakeTransitions++
 	d.Energy.TransitionJ += d.TechE.WakeTransition
@@ -479,20 +502,22 @@ func (d *DCache) Access(addr uint64, write bool, cycle uint64) int {
 	hitWay := -1
 	standbyMatch := -1
 	anyStandby := false
+	flags, tags := d.flags, d.tags
 	for w := 0; w < d.assoc; w++ {
-		l := &d.lines[base+w]
-		if !l.valid {
+		i := base + w
+		f := flags[i]
+		if f&lineValid == 0 {
 			continue
 		}
-		if l.standby {
+		if f&lineStandby != 0 {
 			anyStandby = true
-			if l.tag == tag {
-				standbyMatch = base + w
+			if tags[i] == tag {
+				standbyMatch = i
 			}
 			continue
 		}
-		if l.tag == tag {
-			hitWay = base + w
+		if tags[i] == tag {
+			hitWay = i
 		}
 	}
 
@@ -529,7 +554,7 @@ func (d *DCache) Access(addr uint64, write bool, cycle uint64) int {
 		d.Energy.AccessJ += d.AccessE.TagProbe
 		d.Energy.TransitionJ += tagFraction * d.TechE.WakeTransition
 	}
-	if d.P.Technique == TechGated && standbyMatch >= 0 && d.lines[standbyMatch].hadLive {
+	if d.P.Technique == TechGated && standbyMatch >= 0 && d.flags[standbyMatch]&lineHadLive != 0 {
 		// The data was live when the line was disconnected: this L2
 		// access exists only because of the leakage control.
 		d.Stats.InducedMisses++
@@ -541,7 +566,17 @@ func (d *DCache) Access(addr uint64, write bool, cycle uint64) int {
 
 	lat := d.Cfg.HitLatency + extra
 	if d.Next != nil {
-		lat += d.Next.Access(addr, false, cycle)
+		if d.Stats.Misses&l2SampleMask == 0 {
+			// 1-in-16 sampled wall-clock attribution of next-level time
+			// (deterministic in the miss count, so which simulated
+			// accesses are sampled never varies across runs).
+			t := time.Now()
+			lat += d.Next.Access(addr, false, cycle)
+			d.l2NS += uint64(time.Since(t))
+			d.l2Sampled++
+		} else {
+			lat += d.Next.Access(addr, false, cycle)
+		}
 	}
 	d.fill(set, tag, standbyMatch, write)
 	return lat
@@ -554,11 +589,10 @@ const tagFraction = 0.07
 // finishHit applies LRU/dirty/energy bookkeeping for a hit on way index i
 // and returns its latency.
 func (d *DCache) finishHit(i int, write, slow bool) int {
-	l := &d.lines[i]
-	l.lastUse = d.useStamp
+	d.lastUse[i] = d.useStamp
 	d.Machine.Touch(i)
 	if write {
-		l.dirty = true
+		d.flags[i] |= lineDirty
 		d.Energy.AccessJ += d.AccessE.WriteHit
 	} else {
 		d.Energy.AccessJ += d.AccessE.ReadHit
@@ -583,13 +617,14 @@ func b2u(b bool) uint64 {
 // it is refilled in place.
 func (d *DCache) fill(set, tag uint64, standbyMatch int, write bool) {
 	base := int(set) * d.assoc
+	flags, lastUse := d.flags, d.lastUse
 	victim := -1
 	if standbyMatch >= 0 {
 		victim = standbyMatch
 	} else {
 		// Invalid way first.
 		for w := 0; w < d.assoc; w++ {
-			if !d.lines[base+w].valid {
+			if flags[base+w]&lineValid == 0 {
 				victim = base + w
 				break
 			}
@@ -599,8 +634,7 @@ func (d *DCache) fill(set, tag uint64, standbyMatch int, write bool) {
 		// stalest by construction).
 		if victim < 0 {
 			for w := 0; w < d.assoc; w++ {
-				l := &d.lines[base+w]
-				if l.standby && (victim < 0 || l.lastUse < d.lines[victim].lastUse) {
+				if flags[base+w]&lineStandby != 0 && (victim < 0 || lastUse[base+w] < lastUse[victim]) {
 					victim = base + w
 				}
 			}
@@ -609,25 +643,25 @@ func (d *DCache) fill(set, tag uint64, standbyMatch int, write bool) {
 		if victim < 0 {
 			victim = base
 			for w := 1; w < d.assoc; w++ {
-				if d.lines[base+w].lastUse < d.lines[victim].lastUse {
+				if lastUse[base+w] < lastUse[victim] {
 					victim = base + w
 				}
 			}
 		}
 	}
 
-	l := &d.lines[victim]
-	if l.valid && l.dirty {
+	vf := flags[victim]
+	if vf&(lineValid|lineDirty) == lineValid|lineDirty {
 		// A drowsy dirty victim must be woken to read its contents
 		// out (energy only; off the critical path).
-		if l.standby {
+		if vf&lineStandby != 0 {
 			d.Energy.TransitionJ += d.TechE.WakeTransition
 		}
 		d.Stats.EvictWritebacks++
 		d.Energy.WritebackJ += d.AccessE.LineRead
 		d.writebackToNext(victim)
 	}
-	if l.standby {
+	if vf&lineStandby != 0 {
 		d.occSync(d.curCycle)
 		d.standbyCount--
 		if victim != standbyMatch {
@@ -637,7 +671,13 @@ func (d *DCache) fill(set, tag uint64, standbyMatch int, write bool) {
 			d.Machine.Demote(victim)
 		}
 	}
-	*l = line{tag: tag, valid: true, dirty: write, lastUse: d.useStamp}
+	d.tags[victim] = tag
+	lastUse[victim] = d.useStamp
+	nf := lineValid
+	if write {
+		nf |= lineDirty
+	}
+	flags[victim] = nf
 	d.Machine.Touch(victim)
 	d.Stats.Fills++
 	d.Energy.AccessJ += d.AccessE.LineFill
@@ -701,7 +741,7 @@ func (d *DCache) TurnoffRatio() float64 {
 	if mc == 0 {
 		return 0
 	}
-	return float64(d.StandbyLineCycles()) / (float64(len(d.lines)) * float64(mc))
+	return float64(d.StandbyLineCycles()) / (float64(len(d.flags)) * float64(mc))
 }
 
 // StandbyNow returns the number of lines currently in standby (tests).
@@ -713,11 +753,11 @@ func (d *DCache) Contains(addr uint64) bool {
 	set, tag := d.index(addr)
 	base := int(set) * d.assoc
 	for w := 0; w < d.assoc; w++ {
-		l := &d.lines[base+w]
-		if !l.valid || l.tag != tag {
+		f := d.flags[base+w]
+		if f&lineValid == 0 || d.tags[base+w] != tag {
 			continue
 		}
-		if l.standby && d.P.Technique == TechGated {
+		if f&lineStandby != 0 && d.P.Technique == TechGated {
 			return false // contents destroyed
 		}
 		return true

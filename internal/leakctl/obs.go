@@ -16,6 +16,7 @@ type dcacheObsIDs struct {
 	sleepTransitions, wakeTransitions    obs.CounterID
 	decayWritebacks, evictWritebacks     obs.CounterID
 	fills, wakePenaltyCycles, adaptTunes obs.CounterID
+	l2NS, l2Sampled                      obs.CounterID
 }
 
 func newDCacheObsIDs(name string) *dcacheObsIDs {
@@ -37,6 +38,8 @@ func newDCacheObsIDs(name string) *dcacheObsIDs {
 		fills:             c("fills"),
 		wakePenaltyCycles: c("wake_penalty_cycles"),
 		adaptTunes:        c("adapter_retunes"),
+		l2NS:              c("l2_ns"),
+		l2Sampled:         c("l2_sampled_misses"),
 	}
 }
 
@@ -65,6 +68,10 @@ func (d *DCache) ObsFlush(sh *obs.Shard) {
 	stalled := obs.Delta(cur.SlowHits, prev.SlowHits) + obs.Delta(cur.TagWakeStalls, prev.TagWakeStalls)
 	sh.Add(ids.wakePenaltyCycles, stalled*uint64(d.P.WakeLatency))
 	sh.Add(ids.adaptTunes, obs.Delta(d.AdaptChanges, d.obsPrevAdapt))
+	sh.Add(ids.l2NS, obs.Delta(d.l2NS, d.obsPrevL2NS))
+	sh.Add(ids.l2Sampled, obs.Delta(d.l2Sampled, d.obsPrevL2Samp))
 	d.obsPrev = cur
 	d.obsPrevAdapt = d.AdaptChanges
+	d.obsPrevL2NS = d.l2NS
+	d.obsPrevL2Samp = d.l2Sampled
 }

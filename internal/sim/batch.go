@@ -16,6 +16,61 @@ import (
 	"hotleakage/internal/workload"
 )
 
+// FrontFillMode selects how a lockstep group's shared front is produced.
+//
+// The recorded-trace path (record once into a compact trace.Buffer, then
+// decode it into the front) wins when the recording has more than one
+// consumer: later groups of the same benchmark and scalar-path cells
+// replay it for free. When the front is the recording's ONLY consumer,
+// the record+decode round trip is pure overhead over generating the
+// stream directly into the front — the two paths produce bit-identical
+// fronts (the recorded stream IS the generator's stream, and the parity
+// suite pins it), so the planner is free to pick whichever is cheaper.
+type FrontFillMode int
+
+const (
+	// FrontFillAuto (the default) records when the benchmark's trace has
+	// another consumer — it appears in more than one batch group, has
+	// cells bound for the scalar path, or is already recorded — and
+	// generates live otherwise.
+	FrontFillAuto FrontFillMode = iota
+	// FrontFillTrace always records and replays (the pre-adaptive
+	// behaviour).
+	FrontFillTrace
+	// FrontFillLive always generates directly into the front.
+	FrontFillLive
+)
+
+// ParseFrontFillMode parses a -front-fill flag value.
+func ParseFrontFillMode(s string) (FrontFillMode, error) {
+	switch s {
+	case "", "auto":
+		return FrontFillAuto, nil
+	case "trace":
+		return FrontFillTrace, nil
+	case "live":
+		return FrontFillLive, nil
+	}
+	return FrontFillAuto, fmt.Errorf("front-fill: unknown mode %q (want auto, trace or live)", s)
+}
+
+func (m FrontFillMode) String() string {
+	switch m {
+	case FrontFillTrace:
+		return "trace"
+	case FrontFillLive:
+		return "live"
+	}
+	return "auto"
+}
+
+// Front-fill outcome counters: how each lockstep group's shared front was
+// produced (see fillFront and Experiments.FrontFill).
+var (
+	obsFrontFillTrace = obs.Default.Counter("sim_front_fill_trace_total")
+	obsFrontFillLive  = obs.Default.Counter("sim_front_fill_live_total")
+)
+
 // BatchState is one batch-executor goroutine's reusable scratch: the
 // shared front buffer (tens of MB for a full-length group, recycled
 // across groups), the front's predictor, and one RunState per lane so
@@ -93,6 +148,7 @@ func fillFront(ctx context.Context, bs *BatchState, tc *TraceCache, mc MachineCo
 			if cur, cerr := buf.Cursor(); cerr == nil {
 				bs.front.Fill(cur, bs.pred, n)
 				if cur.Laps() == 0 {
+					obsFrontFillTrace.Add(1)
 					return nil
 				}
 				// Shorter recording than requested (cannot happen with the
@@ -105,6 +161,7 @@ func fillFront(ctx context.Context, bs *BatchState, tc *TraceCache, mc MachineCo
 		}
 	}
 	bs.front.Fill(workload.NewGenerator(prof), bs.pred, n)
+	obsFrontFillLive.Add(1)
 	return nil
 }
 

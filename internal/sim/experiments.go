@@ -136,6 +136,13 @@ type Experiments struct {
 	// results are bit-identical either way, so this is a
 	// debugging/benchmarking knob, not a correctness one).
 	DisableTraceCache bool
+	// FrontFill selects how lockstep batch groups produce their shared
+	// instruction front: record+replay through the trace cache, live
+	// generation straight into the front, or (the zero value) an automatic
+	// per-group choice that skips the record+decode round trip for
+	// single-consumer traces — see FrontFillMode. Results are bit-identical
+	// on every setting.
+	FrontFill FrontFillMode
 	// TraceSpillDir, when non-empty, keeps recorded traces in files under
 	// this directory instead of memory — for memory-constrained hosts
 	// running very long traces (each replay then re-reads its file).
@@ -702,10 +709,11 @@ func (e *Experiments) runBatchPhase(pending []runSpec) (remaining []runSpec, com
 	// Group by (benchmark, machine config) in first-seen order; demote
 	// cells whose config the batch executor cannot lockstep.
 	type batchGroup struct {
-		prof  workload.Profile
-		l2    int
-		lanes []*batchLane
-		cost  float64
+		prof     workload.Profile
+		l2       int
+		lanes    []*batchLane
+		cost     float64
+		useTrace bool
 	}
 	index := make(map[string]*batchGroup)
 	var groups []*batchGroup
@@ -740,6 +748,32 @@ func (e *Experiments) runBatchPhase(pending []runSpec) (remaining []runSpec, com
 		return remaining, completed, 0
 	}
 
+	// Adaptive front fill: count each benchmark's trace consumers — its
+	// lockstep groups plus cells already demoted to the scalar path (which
+	// replay through runWithTrace). A single-consumer recording would be
+	// recorded, decoded once into that group's front, and never touched
+	// again, so the group generates its front live instead; multi-consumer
+	// (or already-recorded) benchmarks keep the shared recording.
+	consumers := make(map[string]int, len(groups))
+	for _, g := range groups {
+		consumers[g.prof.Name]++
+	}
+	for _, sp := range remaining {
+		consumers[sp.prof.Name]++
+	}
+	for _, g := range groups {
+		switch e.FrontFill {
+		case FrontFillLive:
+			// useTrace stays false.
+		case FrontFillTrace:
+			g.useTrace = true
+		default:
+			s := e.suite(g.l2)
+			g.useTrace = consumers[g.prof.Name] > 1 ||
+				(s.Traces != nil && s.Traces.has(g.prof, s.MC.Warmup+s.MC.Instructions+traceSlack))
+		}
+	}
+
 	// LPT at group granularity: ordering whole groups (not cells) by
 	// predicted cost keeps batchable cells together — interleaving cells
 	// across workers would fragment the batches — while the heaviest
@@ -772,7 +806,11 @@ func (e *Experiments) runBatchPhase(pending []runSpec) (remaining []runSpec, com
 						e.Events.Write(obs.Record{Type: "run_start", RunID: ln.sp.key()})
 					}
 				}
-				runBatchGroup(ctx, s.MC, g.prof, g.lanes, s.Traces, e.Injector, bs)
+				tc := s.Traces
+				if !g.useTrace {
+					tc = nil
+				}
+				runBatchGroup(ctx, s.MC, g.prof, g.lanes, tc, e.Injector, bs)
 			}
 		}()
 	}

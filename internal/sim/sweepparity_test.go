@@ -150,6 +150,46 @@ func TestExperimentsFiguresIdenticalWithTraceCacheOff(t *testing.T) {
 	}
 }
 
+// TestExperimentsFiguresIdenticalAcrossFrontFillModes pins the adaptive
+// front-fill planner's bit-identity contract: forcing every lockstep group
+// through record+replay, forcing every group to generate live, and letting
+// auto mode choose per group must all yield the exact same figures.
+func TestExperimentsFiguresIdenticalAcrossFrontFillModes(t *testing.T) {
+	build := func(mode FrontFillMode) (Figure, Figure) {
+		e := NewExperiments()
+		e.Instructions = 60_000
+		e.Warmup = 30_000
+		e.Profiles = e.Profiles[:3]
+		e.FrontFill = mode
+		defer e.Close()
+		return e.LatencyFigure("S", "P", 11, 110, 4096)
+	}
+	savAuto, perfAuto := build(FrontFillAuto)
+	for _, mode := range []FrontFillMode{FrontFillTrace, FrontFillLive} {
+		sav, perf := build(mode)
+		if !reflect.DeepEqual(savAuto, sav) || !reflect.DeepEqual(perfAuto, perf) {
+			t.Fatalf("figures differ between front-fill auto and %v:\nauto %v\n%v    %v",
+				mode, savAuto, mode, sav)
+		}
+	}
+}
+
+// TestParseFrontFillMode covers the flag-value round trip.
+func TestParseFrontFillMode(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want FrontFillMode
+	}{{"auto", FrontFillAuto}, {"", FrontFillAuto}, {"trace", FrontFillTrace}, {"live", FrontFillLive}} {
+		got, err := ParseFrontFillMode(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseFrontFillMode(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseFrontFillMode("bogus"); err == nil {
+		t.Fatal("ParseFrontFillMode(bogus) accepted")
+	}
+}
+
 // TestExperimentsWorkersOverride checks the worker-count resolution rules:
 // an explicit Workers wins, Parallel=false defaults to 1.
 func TestExperimentsWorkersOverride(t *testing.T) {

@@ -109,6 +109,18 @@ func (tc *TraceCache) buffer(ctx context.Context, prof workload.Profile, n uint6
 	}
 }
 
+// has reports whether a recording for prof at n instructions exists or is
+// in flight — i.e. whether a front fill through the trace path would hit
+// (or ride the in-flight leader's recording) rather than record. It feeds
+// the batch planner's auto front-fill decision and never starts a
+// recording itself.
+func (tc *TraceCache) has(prof workload.Profile, n uint64) bool {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	_, ok := tc.buffers[traceKey{bench: prof.Name, n: n}]
+	return ok
+}
+
 // Close releases every buffer (removing spill files). The cache is
 // reusable afterwards; buffers re-record on demand.
 func (tc *TraceCache) Close() error {
