@@ -18,7 +18,7 @@ PGO ?= results/profiles/default.pgo
 # percent below the recorded BENCH_throughput.json median.
 GUARD_TOL ?= 15
 
-.PHONY: build test verify smoke-daemon smoke-cluster chaos bench bench-throughput bench-sweep bench-batch bench-guard bench-all profile clean
+.PHONY: build test verify smoke-daemon smoke-cluster smoke-security chaos bench bench-throughput bench-sweep bench-batch bench-guard bench-all profile clean
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,13 @@ smoke-daemon:
 # See DESIGN.md §13.
 smoke-cluster:
 	./scripts/cluster_smoke.sh
+
+# End-to-end security smoke: run a tiny attack sweep (prime+probe channel
+# cells) through a real leakd, require drowsy to leak strictly more than
+# gated-Vss, the warm resubmit to be 100% store hits, and leakbench
+# -attack -remote to report the same metric values. See DESIGN.md §14.
+smoke-security:
+	./scripts/security_smoke.sh
 
 # Chaos tier: fault-injected store/server suites under the race detector,
 # then the black-box chaos smoke (real leakd under an armed fault plane,

@@ -6,6 +6,8 @@
 //	leakbench -fig 8               # one figure (1,3..13)
 //	leakbench -table 3             # one table (1,2,3)
 //	leakbench -n 2000000 -fig 12   # longer runs
+//	leakbench -attack              # leakage vs. savings frontier (prime+probe)
+//	leakbench -attack -scenario occupancy -attack-intervals 1024,8192
 //
 // Output is text tables: one row per benchmark, one column per technique —
 // the harness's equivalent of the paper's bar charts.
@@ -26,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,6 +60,9 @@ func run() int {
 		noBatch    = flag.Bool("no-batch", false, "disable lockstep batch execution of variant groups (slower; results identical)")
 		frontFill  = flag.String("front-fill", "auto", "batch front fill policy: auto (skip record+decode for single-consumer traces), trace (always record+replay), live (always generate)")
 		traceSpill = flag.String("trace-spill", "", "spill recorded traces to files in this directory instead of memory")
+		attackMode = flag.Bool("attack", false, "run the adversarial prime+probe suite: per-technique leakage vs. energy-savings frontier")
+		scenario   = flag.String("scenario", "ws-select", "attack scenario for -attack (see internal/attack's registry)")
+		attackIvs  = flag.String("attack-intervals", "1024,4096,32768", "comma-separated decay intervals for -attack")
 		asCSV      = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
 		timeout    = flag.Duration("timeout", 0, "per-run deadline (e.g. 30s; 0 = none)")
 		checkpoint = flag.String("checkpoint", "", "JSON-lines file recording completed runs")
@@ -155,7 +162,7 @@ func run() int {
 		defer sampler.Stop()
 	}
 
-	if !*all && *fig == 0 && *table == 0 {
+	if !*all && *fig == 0 && *table == 0 && !*attackMode {
 		flag.Usage()
 		return 2
 	}
@@ -174,6 +181,23 @@ func run() int {
 
 	csv = *asCSV
 	start := time.Now()
+	if *attackMode {
+		intervals, perr := parseIntervals(*attackIvs)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			return 2
+		}
+		f, ferr := e.FrontierFigure(*scenario, 11, 110, intervals)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			return 2
+		}
+		if csv {
+			fmt.Printf("# %s — %s\n%s\n", f.ID, f.Title, f.CSV())
+		} else {
+			fmt.Println(f)
+		}
+	}
 	if *all {
 		runFigure(e, 1)
 		runTable(e, 1)
@@ -184,7 +208,7 @@ func run() int {
 		runTable(e, 3)
 	} else if *fig != 0 {
 		runFigure(e, *fig)
-	} else {
+	} else if *table != 0 {
 		runTable(e, *table)
 	}
 	if e.Resumed() > 0 {
@@ -256,6 +280,26 @@ func runTable(e *sim.Experiments, table int) {
 
 // csv selects CSV output for figures.
 var csv bool
+
+// parseIntervals parses -attack-intervals ("1024,4096,...").
+func parseIntervals(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil || v == 0 {
+			return nil, fmt.Errorf("bad -attack-intervals entry %q (want positive integers)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-attack-intervals is empty")
+	}
+	return out, nil
+}
 
 func printFigure(f sim.Figure) {
 	if csv {

@@ -9,6 +9,13 @@
 //
 //	leakd -store /var/lib/leakd [-addr :8080] [-workers N] [-telemetry FILE]
 //
+// Sweeps carry two cell kinds: energy cells (a benchmark under a leakage
+// technique, the default) and attack cells (`"kind":"attack"` with a
+// `scenario` name — an adversarial prime+probe run scored with channel
+// metrics; see DESIGN.md §14). Both kinds ride the same store, checkpoint
+// and federation machinery, and `leakbench -attack -remote` renders the
+// leakage-vs-savings frontier from a daemon.
+//
 // Cluster mode: `leakd -coordinator -cluster w1:8081,w2:8082,w3:8083` runs
 // the coordinator — same HTTP surface, sweeps sharded across the listed
 // workers on a consistent-hash ring, with work stealing and re-sharding on

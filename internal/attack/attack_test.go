@@ -1,0 +1,254 @@
+package attack
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hotleakage/internal/bpred"
+	"hotleakage/internal/cache"
+	"hotleakage/internal/cpu"
+	"hotleakage/internal/leakctl"
+	"hotleakage/internal/tech"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the attack golden fixtures")
+
+// testMachine is the Table 2 L1D/L2/memory hierarchy (sim.DefaultMachine's
+// cache slice), built directly so the package tests do not import sim.
+func testMachine() Machine {
+	return Machine{
+		Tech: tech.MustByNode(tech.Node70),
+		L1D: cache.Config{
+			Name: "dl1", SizeBytes: 64 * 1024, LineBytes: 64,
+			Assoc: 2, HitLatency: 2,
+		},
+		L2: cache.Config{
+			Name: "ul2", SizeBytes: 2 * 1024 * 1024, LineBytes: 64,
+			Assoc: 2, HitLatency: 11, Banks: 8,
+		},
+		MemLatency: 100,
+	}
+}
+
+func mustScenario(t *testing.T, name string) Scenario {
+	t.Helper()
+	sc, ok := ByName(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	return sc
+}
+
+func mustRun(t *testing.T, sc Scenario, tq leakctl.Technique, interval uint64) Result {
+	t.Helper()
+	res, err := Run(testMachine(), sc, leakctl.DefaultParams(tq, interval))
+	if err != nil {
+		t.Fatalf("Run(%s, %v/%d): %v", sc.Name, tq, interval, err)
+	}
+	return res
+}
+
+// The seeded generator and the cycle-accurate hardware make a Result
+// bit-reproducible: two runs of the same (machine, scenario, params) triple
+// agree on every field, floats included. Run under -race in CI, this also
+// proves the runner shares no hidden mutable state.
+func TestRunDeterministic(t *testing.T) {
+	sc := mustScenario(t, "ws-select")
+	a := mustRun(t, sc, leakctl.TechDrowsy, 4096)
+	b := mustRun(t, sc, leakctl.TechDrowsy, 4096)
+	if a != b {
+		t.Errorf("repeated runs differ:\n a=%+v\n b=%+v", a, b)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("JSON encodings differ:\n %s\n %s", ja, jb)
+	}
+}
+
+// The paper's state-preserving / non-state-preserving distinction as an
+// information-flow result: with the decay interval inside the idle gap,
+// drowsy decay keeps evictions distinguishable (slow hit vs miss) while
+// gated-Vss decay turns every probe into a miss, masking the victim.
+func TestDrowsyLeaksWhereGatedMasks(t *testing.T) {
+	sc := mustScenario(t, "ws-select")
+	const interval = 4096 // < IdleGap 8192: every surviving line decays before the probe
+	none := mustRun(t, sc, leakctl.TechNone, 0)
+	drowsy := mustRun(t, sc, leakctl.TechDrowsy, interval)
+	gated := mustRun(t, sc, leakctl.TechGated, interval)
+
+	if none.LeakageBits() < 0.5 {
+		t.Errorf("uncontrolled cache leaks %.3f bits; prime+probe should see the working set", none.LeakageBits())
+	}
+	if drowsy.LeakageBits() < 0.5 {
+		t.Errorf("drowsy leaks only %.3f bits; slow hits should keep evictions visible", drowsy.LeakageBits())
+	}
+	if gap := drowsy.LeakageBits() - gated.LeakageBits(); gap < 0.25 {
+		t.Errorf("drowsy %.3f bits vs gated %.3f bits (gap %.3f): gated decay should mask the channel",
+			drowsy.LeakageBits(), gated.LeakageBits(), gap)
+	}
+	if drowsy.SlowHits == 0 {
+		t.Error("drowsy run saw no slow hits; decay never engaged inside the idle gap")
+	}
+	if gated.SlowHits != 0 {
+		t.Errorf("gated run classified %d slow hits; gated standby must read as a miss", gated.SlowHits)
+	}
+}
+
+// A gated interval longer than every idle period never decays a primed
+// line, so gated degenerates to the uncontrolled channel — decay only masks
+// when it actually fires.
+func TestLongGatedIntervalStillLeaks(t *testing.T) {
+	sc := mustScenario(t, "smoke")
+	none := mustRun(t, sc, leakctl.TechNone, 0)
+	lazy := mustRun(t, sc, leakctl.TechGated, 1<<20)
+	if d := none.LeakageBits() - lazy.LeakageBits(); d > 1e-9 || d < -1e-9 {
+		t.Errorf("gated@2^20 leaks %.6f bits, uncontrolled %.6f: a never-firing interval must match",
+			lazy.LeakageBits(), none.LeakageBits())
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	if len(Scenarios()) < 2 {
+		t.Fatalf("want at least 2 registered scenarios, have %d", len(Scenarios()))
+	}
+	for _, sc := range Scenarios() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("registered scenario invalid: %v", err)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted an unknown scenario")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	base := mustScenario(t, "smoke")
+	bad := []func(*Scenario){
+		func(s *Scenario) { s.Name = "" },
+		func(s *Scenario) { s.Secrets = 1 },
+		func(s *Scenario) { s.TargetSets = 0 },
+		func(s *Scenario) { s.SecretSets = 0 },
+		func(s *Scenario) { s.SecretSets = s.TargetSets + 1 },
+		func(s *Scenario) { s.VictimRing.Lines = 0 },
+		func(s *Scenario) { s.VictimRing.P = 0 },
+		func(s *Scenario) { s.VictimRing.P = 1.5 },
+		func(s *Scenario) { s.VictimAccesses = 0 },
+		func(s *Scenario) { s.IdleGap = 0 },
+		func(s *Scenario) { s.Trials = 0 },
+	}
+	for i, mut := range bad {
+		sc := base
+		mut(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("mutation %d: bad scenario validated", i)
+		}
+	}
+	sc := base
+	sc.SetBase = 1 << 20
+	if _, err := Run(testMachine(), sc, leakctl.DefaultParams(leakctl.TechNone, 0)); err == nil {
+		t.Error("Run accepted a target window beyond the last L1 set")
+	}
+}
+
+// Golden fixture: one scenario's full metric output pinned bit-for-bit
+// (shortest-form float JSON round-trips exactly). Refresh with
+// `go test ./internal/attack -run Golden -update-golden`.
+func TestGoldenSmokeMetrics(t *testing.T) {
+	sc := mustScenario(t, "smoke")
+	res := mustRun(t, sc, leakctl.TechDrowsy, 2048)
+	got, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "golden", "smoke-drowsy-2048.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("golden drift in %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// The InstrSource adapter feeds the same reference stream through the
+// out-of-order core: a dependence-chained load stream the core can run for
+// any instruction budget, hitting the controlled D-cache.
+func TestSourceDrivesCore(t *testing.T) {
+	m := testMachine()
+	sc := mustScenario(t, "smoke")
+	src, err := NewSource(sc, m.L1D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() == 0 {
+		t.Fatal("empty source")
+	}
+	mem := cache.NewMemory(m.Tech, m.MemLatency)
+	l2, err := cache.New(m.Tech, m.L2, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl1, err := leakctl.New(m.Tech, m.L1D, leakctl.DefaultParams(leakctl.TechDrowsy, 2048), l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	il1cfg := cache.Config{Name: "il1", SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 2, HitLatency: 1}
+	il1, err := cache.New(m.Tech, il1cfg, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cpu.New(cpu.DefaultConfig(), src, bpred.New(bpred.DefaultConfig()), il1, dl1)
+	stats := core.Run(20_000)
+	if stats.Instructions != 20_000 {
+		t.Fatalf("core committed %d/20000 instructions", stats.Instructions)
+	}
+	if stats.Loads == 0 {
+		t.Error("core committed no loads from the attack stream")
+	}
+	if dl1.Stats.Accesses == 0 {
+		t.Error("attack stream never reached the controlled D-cache")
+	}
+}
+
+// Sources are deterministic too: two adapters over the same scenario emit
+// identical streams.
+func TestSourceDeterministic(t *testing.T) {
+	m := testMachine()
+	sc := mustScenario(t, "ws-select")
+	a, err := NewSource(sc, m.L1D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSource(sc, m.L1D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.refs {
+		if a.refs[i] != b.refs[i] {
+			t.Fatalf("ref %d differs: %#x vs %#x", i, a.refs[i], b.refs[i])
+		}
+	}
+}

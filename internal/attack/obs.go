@@ -1,0 +1,15 @@
+package attack
+
+import "hotleakage/internal/obs"
+
+// Counters are registered eagerly at package init so they appear on the
+// Prometheus endpoint (value 0) even before the first attack runs — the obs
+// audit test asserts this. The channel_* counters live here rather than in
+// package channel to keep that package free of non-stdlib imports.
+var (
+	obsAttackRuns       = obs.Default.Counter(obs.MetricAttackRuns)
+	obsAttackTrials     = obs.Default.Counter(obs.MetricAttackTrials)
+	obsAttackProbes     = obs.Default.Counter(obs.MetricAttackProbes)
+	obsChannelObserved  = obs.Default.Counter(obs.MetricChannelObserved)
+	obsChannelEstimates = obs.Default.Counter(obs.MetricChannelEstimates)
+)

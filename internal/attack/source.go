@@ -1,0 +1,92 @@
+package attack
+
+import (
+	"fmt"
+
+	"hotleakage/internal/cache"
+	"hotleakage/internal/workload"
+)
+
+// gapOps is the length of the dependent ALU chain a Source emits in place
+// of the scenario's idle gap. The serialized port-level runner (Run) jumps
+// the clock by the exact IdleGap and is the metric path; the Source is
+// stream-compatibility glue for the cores, where a literal multi-thousand-
+// cycle idle would just be a very long dependence chain anyway.
+const gapOps = 64
+
+// Source adapts a scenario's reference stream into the instruction form the
+// out-of-order cores consume (cpu.InstrSource): every memory reference
+// becomes a load chained onto the previous instruction (Src1 = 1, the
+// pointer-chasing idiom that serializes an attacker's probes), and idle
+// gaps become dependent ALU chains. The stream is cyclic — one full pass
+// over the scenario's trials, then again — so a core can run any
+// instruction budget without the source running dry.
+type Source struct {
+	refs []uint64 // one full pass; 0 is the idle-gap marker
+	pos  int
+	gap  int // remaining gap ops to emit
+	pc   uint64
+}
+
+var _ interface{ Next(*workload.Instr) } = (*Source)(nil)
+
+// NewSource generates the scenario's full reference pass up front (the
+// stream never depends on observed latency, so it is precomputable) for the
+// given L1 geometry.
+func NewSource(sc Scenario, l1d cache.Config) (*Source, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := geometryOf(l1d)
+	if err != nil {
+		return nil, err
+	}
+	if sc.SetBase+sc.TargetSets > g.sets {
+		return nil, fmt.Errorf("attack: %s: target window exceeds %d L1 sets", sc.Name, g.sets)
+	}
+	tr := newTracer(sc, g)
+	perTrial := sc.TargetSets*g.assoc*2 + sc.VictimAccesses + 1
+	refs := make([]uint64, 0, sc.Trials*sc.Secrets*perTrial)
+	victim := make([]uint64, 0, sc.VictimAccesses)
+	for trial := 0; trial < sc.Trials; trial++ {
+		for secret := 0; secret < sc.Secrets; secret++ {
+			for t := 0; t < sc.TargetSets; t++ {
+				for w := 0; w < g.assoc; w++ {
+					refs = append(refs, g.attackerAddr(sc.SetBase+t, w))
+				}
+			}
+			refs = append(refs, tr.victimRefs(secret, victim[:0])...)
+			refs = append(refs, 0) // idle gap
+			for t := 0; t < sc.TargetSets; t++ {
+				for w := 0; w < g.assoc; w++ {
+					refs = append(refs, g.attackerAddr(sc.SetBase+t, w))
+				}
+			}
+		}
+	}
+	return &Source{refs: refs, pc: 0x1000}, nil
+}
+
+// Len returns the number of references in one full pass (idle-gap markers
+// included).
+func (s *Source) Len() int { return len(s.refs) }
+
+// Next implements cpu.InstrSource.
+func (s *Source) Next(ins *workload.Instr) {
+	*ins = workload.Instr{PC: s.pc, Src1: 1}
+	s.pc += 4
+	if s.gap > 0 {
+		s.gap--
+		ins.Op = workload.OpIntALU
+		return
+	}
+	addr := s.refs[s.pos]
+	s.pos = (s.pos + 1) % len(s.refs)
+	if addr == 0 {
+		s.gap = gapOps - 1
+		ins.Op = workload.OpIntALU
+		return
+	}
+	ins.Op = workload.OpLoad
+	ins.Addr = addr
+}

@@ -1,0 +1,133 @@
+package channel
+
+import (
+	"math"
+	"testing"
+)
+
+const tol = 1e-9
+
+func close(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// A channel whose observation is independent of the secret leaks nothing:
+// posterior guessing entropy equals the prior, min-entropy leakage and
+// capacity are zero.
+func TestUniformChannelLeaksNothing(t *testing.T) {
+	j := NewJoint(4)
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 10; i++ {
+			j.Observe(s, "A")
+			j.Observe(s, "B")
+		}
+	}
+	m := j.Metrics()
+	if !close(m.GuessingEntropyPrior, 2.5, tol) {
+		t.Errorf("prior GE = %v, want 2.5", m.GuessingEntropyPrior)
+	}
+	if !close(m.GuessingEntropyPosterior, 2.5, tol) {
+		t.Errorf("posterior GE = %v, want 2.5", m.GuessingEntropyPosterior)
+	}
+	if !close(m.MinEntropyLeakageBits, 0, tol) {
+		t.Errorf("min-entropy leakage = %v, want 0", m.MinEntropyLeakageBits)
+	}
+	if !close(m.CapacityBits, 0, 1e-6) {
+		t.Errorf("capacity = %v, want 0", m.CapacityBits)
+	}
+}
+
+// A deterministic injective channel (every secret its own observation)
+// leaks everything: one observation pins the secret.
+func TestPointMassChannelLeaksEverything(t *testing.T) {
+	const S = 8
+	j := NewJoint(S)
+	syms := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for s := 0; s < S; s++ {
+		for i := 0; i < 5; i++ {
+			j.Observe(s, syms[s])
+		}
+	}
+	m := j.Metrics()
+	if !close(m.GuessingEntropyPrior, 4.5, tol) {
+		t.Errorf("prior GE = %v, want 4.5", m.GuessingEntropyPrior)
+	}
+	if !close(m.GuessingEntropyPosterior, 1, tol) {
+		t.Errorf("posterior GE = %v, want 1", m.GuessingEntropyPosterior)
+	}
+	if !close(m.MinEntropyLeakageBits, 3, tol) {
+		t.Errorf("min-entropy leakage = %v, want 3", m.MinEntropyLeakageBits)
+	}
+	if !close(m.CapacityBits, 3, 1e-6) {
+		t.Errorf("capacity = %v, want 3", m.CapacityBits)
+	}
+}
+
+// The two-secret biased (Z-)channel has closed forms: secret 0 always
+// produces "0"; secret 1 produces "0" or "1" with probability 1/2 each.
+//
+//   - min-entropy leakage = log2( max("0") + max("1") ) = log2(1 + 1/2)
+//   - posterior GE: P("1") = 1/4 pins secret 1 (GE 1); P("0") = 3/4 gives
+//     posteriors (2/3, 1/3), GE = 1*2/3 + 2*1/3 = 4/3. Total = 1/4 + 3/4*4/3 = 5/4.
+//   - capacity of the Z-channel with crossover 1/2: log2(1 + (1-p)*p^(p/(1-p)))
+//     = log2(1 + 0.5*0.5) = log2(1.25).
+func TestTwoSecretBiasedChannel(t *testing.T) {
+	j := NewJoint(2)
+	for i := 0; i < 100; i++ {
+		j.Observe(0, "0")
+	}
+	for i := 0; i < 50; i++ {
+		j.Observe(1, "0")
+		j.Observe(1, "1")
+	}
+	m := j.Metrics()
+	if want := math.Log2(1.5); !close(m.MinEntropyLeakageBits, want, tol) {
+		t.Errorf("min-entropy leakage = %v, want %v", m.MinEntropyLeakageBits, want)
+	}
+	if !close(m.GuessingEntropyPosterior, 1.25, tol) {
+		t.Errorf("posterior GE = %v, want 1.25", m.GuessingEntropyPosterior)
+	}
+	if want := math.Log2(1.25); !close(m.CapacityBits, want, 1e-6) {
+		t.Errorf("capacity = %v, want %v (Z-channel closed form)", m.CapacityBits, want)
+	}
+}
+
+// Metrics must be deterministic: identical observation streams recorded in
+// different orders produce bit-identical metrics (the content-addressed
+// store depends on this).
+func TestMetricsDeterministic(t *testing.T) {
+	build := func(reverse bool) Metrics {
+		j := NewJoint(3)
+		type obs struct {
+			s   int
+			sym string
+		}
+		seq := []obs{{0, "x"}, {0, "y"}, {1, "y"}, {1, "z"}, {2, "z"}, {2, "x"}, {0, "x"}, {1, "y"}}
+		if reverse {
+			for i := len(seq) - 1; i >= 0; i-- {
+				j.Observe(seq[i].s, seq[i].sym)
+			}
+		} else {
+			for _, o := range seq {
+				j.Observe(o.s, o.sym)
+			}
+		}
+		return j.Metrics()
+	}
+	a, b := build(false), build(true)
+	if a != b {
+		t.Errorf("metrics depend on observation order: %+v vs %+v", a, b)
+	}
+}
+
+// An empty joint distribution is vacuously leak-free rather than NaN.
+func TestEmptyJoint(t *testing.T) {
+	m := NewJoint(5).Metrics()
+	if m.GuessingEntropyPosterior != 3 || m.MinEntropyLeakageBits != 0 || m.CapacityBits != 0 {
+		t.Errorf("empty joint: %+v", m)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassFastHit.String() != "hit" || ClassSlowHit.String() != "slow-hit" || ClassMiss.String() != "miss" {
+		t.Errorf("class strings: %s %s %s", ClassFastHit, ClassSlowHit, ClassMiss)
+	}
+}

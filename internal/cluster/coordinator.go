@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"hotleakage/internal/attack"
 	"hotleakage/internal/obs"
 	"hotleakage/internal/server/api"
 	"hotleakage/internal/sim"
@@ -121,12 +122,14 @@ func (w *worker) markDead() bool {
 	return true
 }
 
-// csweep is one admitted cluster sweep.
+// csweep is one admitted cluster sweep. Cells of both kinds (energy and
+// attack) live in wire form: api.Cell carries everything the shard
+// scheduler needs, and shards ship to workers verbatim, so the
+// coordinator never branches on kind outside hashing and key derivation.
 type csweep struct {
 	id           string
 	reqHash      string
 	priority     string
-	cells        []sim.CellSpec
 	wire         []api.Cell
 	hashes       []string // content address per cell ("" when uncomputable)
 	instructions uint64
@@ -342,25 +345,25 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Warmup == 0 {
 		req.Warmup = c.cfg.DefaultWarmup
 	}
-	specs, wire, err := api.ExpandCells(req)
+	specs, attacks, wire, err := api.ExpandCells(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if len(specs) == 0 {
+	if len(wire) == 0 {
 		httpError(w, http.StatusBadRequest, "sweep has no cells")
 		return
 	}
-	if len(specs) > c.cfg.MaxCells {
+	if len(wire) > c.cfg.MaxCells {
 		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("sweep has %d cells, limit is %d", len(specs), c.cfg.MaxCells))
+			fmt.Sprintf("sweep has %d cells, limit is %d", len(wire), c.cfg.MaxCells))
 		return
 	}
 	priority := req.Priority
 	switch priority {
 	case "interactive", "bulk":
 	case "":
-		if len(specs) <= 2 {
+		if len(wire) <= 2 {
 			priority = "interactive"
 		} else {
 			priority = "bulk"
@@ -410,8 +413,9 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Content addresses are computed up front (cheap: one SHA-256 of a
 	// small identity document per cell) so hashes is immutable from here —
 	// the ring, the store pass, the ack path and status reads all share it
-	// without coordination.
-	hashes := make([]string, len(specs))
+	// without coordination. The wire list is energy cells then attack
+	// cells (ExpandCells' contract), so hashes indexes wire directly.
+	hashes := make([]string, len(wire))
 	for i, cs := range specs {
 		mc := sim.DefaultMachine(cs.L2)
 		mc.Instructions = req.Instructions
@@ -420,11 +424,21 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			hashes[i] = h
 		}
 	}
+	for j, as := range attacks {
+		sc, ok := attack.ByName(as.Scenario)
+		if !ok {
+			continue // ExpandCells validated; an unknown name still just dispatches unhashed
+		}
+		// Attack hashes ignore the instruction budget (scenario length is
+		// fixed), so the default machine is the whole identity.
+		if h, herr := sim.AttackHash(sim.DefaultMachine(as.L2), sc, as.Technique, as.Interval); herr == nil {
+			hashes[len(specs)+j] = h
+		}
+	}
 	sw := &csweep{
 		id:           fmt.Sprintf("c-%06d", c.seq),
 		reqHash:      reqHash,
 		priority:     priority,
-		cells:        specs,
 		wire:         wire,
 		hashes:       hashes,
 		instructions: req.Instructions,
@@ -434,8 +448,8 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		hub:          stream.NewHub(),
 		state:        api.StateQueued,
 		created:      time.Now(),
-		done:         make([]bool, len(specs)),
-		failed:       make([]string, len(specs)),
+		done:         make([]bool, len(wire)),
+		failed:       make([]string, len(wire)),
 	}
 	c.inflight++
 	c.sweeps[sw.id] = sw
@@ -461,13 +475,16 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // ---- sweep execution ----
 
-// shardGroup is the dispatch atom: one (bench, L2) slice of the sweep —
+// shardGroup is the dispatch atom: one (workload, L2) slice of the sweep —
 // exactly the grouping the workers' lockstep batch phase wants, so a
-// shard arrives at a worker as one batchable front.
+// shard arrives at a worker as one batchable front. The workload is a
+// benchmark for energy cells and an attack scenario for attack cells;
+// the two never mix in one group (groupCells keys them apart), so a
+// shard is always homogeneous in kind.
 type shardGroup struct {
 	bench    string
 	l2       int
-	idxs     []int  // indices into csweep.cells
+	idxs     []int  // indices into csweep.wire
 	key      string // ring position: the group's smallest cell hash
 	attempts int
 }
@@ -479,12 +496,12 @@ func (c *Coordinator) runSweep(sw *csweep) {
 	sw.mu.Unlock()
 	sw.hub.Write(obs.Record{Type: "sweep_start", RunID: sw.id, Detail: sw.reqHash})
 	c.cfg.Log.Printf("leakd-coord: sweep %s running (%d cells over %d workers)",
-		sw.id, len(sw.cells), c.ring.Len())
+		sw.id, len(sw.wire), c.ring.Len())
 
 	// Coordinator store pass: anything any worker ever acked (or a prior
 	// sweep stored) is served without dispatch.
-	pending := make([]int, 0, len(sw.cells))
-	for i := range sw.cells {
+	pending := make([]int, 0, len(sw.wire))
+	for i := range sw.wire {
 		h := sw.hashes[i]
 		if h != "" {
 			if _, ok, err := c.cfg.Store.Get(h); err == nil && ok {
@@ -492,7 +509,7 @@ func (c *Coordinator) runSweep(sw *csweep) {
 				sw.done[i] = true
 				sw.storeHits++
 				sw.mu.Unlock()
-				sw.hub.Write(obs.Record{Type: "store_hit", RunID: sw.cells[i].Key()})
+				sw.hub.Write(obs.Record{Type: "store_hit", RunID: wireKey(sw.wire[i])})
 				continue
 			}
 		}
@@ -533,7 +550,7 @@ func (c *Coordinator) runSweep(sw *csweep) {
 		}
 		sw.mu.Unlock()
 		switch {
-		case doneN == 0 && failedN == len(sw.cells) && failedN > 0:
+		case doneN == 0 && failedN == len(sw.wire) && failedN > 0:
 			// Nothing at all could be produced — that is a failed sweep,
 			// not a degraded-complete one.
 			state, msg = api.StateFailed, firstFail
@@ -626,17 +643,23 @@ type dispatchState struct {
 	outstanding int // groups assigned or running, not yet resolved
 }
 
-// groupCells buckets pending cell indices into (bench, L2) shard groups,
-// each keyed by its smallest cell hash for a deterministic ring position.
+// groupCells buckets pending cell indices into (workload, L2) shard
+// groups, each keyed by its smallest cell hash for a deterministic ring
+// position. Attack cells group by scenario with a kind prefix so an
+// attack scenario can never share a shard with a like-named benchmark.
 func (c *Coordinator) groupCells(sw *csweep, pending []int) []*shardGroup {
 	byBL := make(map[string]*shardGroup)
 	var order []string
 	for _, i := range pending {
-		cs := sw.cells[i]
-		bk := fmt.Sprintf("%s/%d", cs.Bench, cs.L2)
+		cs := sw.wire[i]
+		name := cs.Bench
+		if cs.Kind == api.KindAttack {
+			name = "attack:" + cs.Scenario
+		}
+		bk := fmt.Sprintf("%s/%d", name, cs.L2)
 		g, ok := byBL[bk]
 		if !ok {
-			g = &shardGroup{bench: cs.Bench, l2: cs.L2}
+			g = &shardGroup{bench: name, l2: cs.L2}
 			byBL[bk] = g
 			order = append(order, bk)
 		}
@@ -663,8 +686,7 @@ func (c *Coordinator) estimate(sw *csweep, g *shardGroup) float64 {
 	defer c.mu.Unlock()
 	total := 0.0
 	for _, i := range g.idxs {
-		key := sw.cells[i].Bench + "/" + sw.cells[i].Technique.String()
-		ns, ok := c.costs[key]
+		ns, ok := c.costs[costKey(sw.wire[i])]
 		if !ok {
 			ns = 500 // prior: ~500 ns simulated per instruction
 		}
@@ -987,14 +1009,14 @@ func (c *Coordinator) foldCostModel(sw *csweep) {
 	perCell := float64(elapsed.Nanoseconds()) / float64(executed) / float64(sw.instructions)
 	const alpha = 0.3
 	c.mu.Lock()
-	for i := range sw.cells {
+	for i := range sw.wire {
 		sw.mu.Lock()
 		ok := sw.done[i]
 		sw.mu.Unlock()
 		if !ok {
 			continue
 		}
-		key := sw.cells[i].Bench + "/" + sw.cells[i].Technique.String()
+		key := costKey(sw.wire[i])
 		if prev, seen := c.costs[key]; seen {
 			c.costs[key] = (1-alpha)*prev + alpha*perCell
 		} else {
@@ -1037,9 +1059,25 @@ func (c *Coordinator) finishWith(sw *csweep, state, msg, degradedMsg string) {
 }
 
 // wireKey identifies a wire cell for matching worker statuses to sweep
-// indices (the api package keeps its own key unexported).
+// indices (the api package keeps its own key unexported). Attack cells
+// get their own namespace so a scenario named like a benchmark can never
+// match the wrong status row.
 func wireKey(wc api.Cell) string {
+	if wc.Kind == api.KindAttack {
+		return fmt.Sprintf("attack/%s/%d/%s/%d", wc.Scenario, wc.L2, strings.ToLower(wc.Technique), wc.Interval)
+	}
 	return fmt.Sprintf("%s/%d/%s/%d", wc.Bench, wc.L2, strings.ToLower(wc.Technique), wc.Interval)
+}
+
+// costKey names a wire cell's row in the EWMA cost model. Energy cells
+// keep the historic bench/technique keys the workers persist; attack
+// cells get their own rows (their cost is scenario-shaped, not
+// budget-shaped).
+func costKey(wc api.Cell) string {
+	if wc.Kind == api.KindAttack {
+		return "attack:" + wc.Scenario + "/" + strings.ToLower(wc.Technique)
+	}
+	return wc.Bench + "/" + strings.ToLower(wc.Technique)
 }
 
 // ---- status & reads ----
@@ -1052,7 +1090,7 @@ func (c *Coordinator) status(sw *csweep, withCells bool) api.SweepStatus {
 		State:    sw.state,
 		Priority: sw.priority,
 		Created:  sw.created,
-		Total:    len(sw.cells),
+		Total:    len(sw.wire),
 		Error:    sw.errMsg,
 		Degraded: sw.degradedMsg,
 		Executed: sw.executed, StoreHits: sw.storeHits, Resumed: sw.resumed,
@@ -1065,7 +1103,7 @@ func (c *Coordinator) status(sw *csweep, withCells bool) api.SweepStatus {
 		t := sw.finished
 		st.Finished = &t
 	}
-	for i := range sw.cells {
+	for i := range sw.wire {
 		switch {
 		case sw.done[i]:
 			st.Completed++

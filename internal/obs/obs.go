@@ -360,6 +360,16 @@ const (
 	MetricClusterWorkerDeaths = "cluster_worker_deaths_total"
 	MetricClusterCellsAcked   = "cluster_cells_acked_total"
 	GaugeClusterWorkersAlive  = "cluster_workers_alive"
+	// Timing-leakage security subsystem (internal/attack, internal/channel):
+	// adversarial scenario runs completed, prime+probe trials and individual
+	// probes executed, trials recorded into empirical channel distributions,
+	// and metric sets (guessing entropy / min-entropy leakage / capacity)
+	// computed over them. See DESIGN.md section 14.
+	MetricAttackRuns       = "attack_runs_total"
+	MetricAttackTrials     = "attack_trials_total"
+	MetricAttackProbes     = "attack_probes_total"
+	MetricChannelObserved  = "channel_observations_total"
+	MetricChannelEstimates = "channel_estimates_total"
 )
 
 // Delta returns cur-prev saturating at cur when a counter source was reset

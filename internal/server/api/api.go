@@ -21,10 +21,20 @@ import (
 	"hotleakage/internal/sim"
 )
 
+// KindAttack marks a timing-leakage attack cell on the wire. The empty
+// kind is an energy cell — the only kind that existed before the security
+// subsystem, kept implicit (omitempty) so pre-existing clients, requests
+// and request hashes are untouched.
+const KindAttack = "attack"
+
 // Cell is one simulation cell in wire form. Technique uses the String
 // form of leakctl.Technique ("none", "drowsy", "gated-vss", "rbb").
+// Energy cells (Kind empty) name a benchmark; attack cells (Kind "attack")
+// name an adversarial scenario instead.
 type Cell struct {
-	Bench     string `json:"bench"`
+	Kind      string `json:"kind,omitempty"`
+	Bench     string `json:"bench,omitempty"`
+	Scenario  string `json:"scenario,omitempty"`
 	L2        int    `json:"l2_latency"`
 	Technique string `json:"technique"`
 	Interval  uint64 `json:"interval"`
@@ -35,7 +45,13 @@ func FromSpec(cs sim.CellSpec) Cell {
 	return Cell{Bench: cs.Bench, L2: cs.L2, Technique: cs.Technique.String(), Interval: cs.Interval}
 }
 
-// Spec converts the wire cell back to a sim.CellSpec.
+// FromAttackSpec converts a sim.AttackSpec to wire form.
+func FromAttackSpec(as sim.AttackSpec) Cell {
+	return Cell{Kind: KindAttack, Scenario: as.Scenario, L2: as.L2,
+		Technique: as.Technique.String(), Interval: as.Interval}
+}
+
+// Spec converts an energy wire cell back to a sim.CellSpec.
 func (c Cell) Spec() (sim.CellSpec, error) {
 	t, err := leakctl.ParseTechnique(c.Technique)
 	if err != nil {
@@ -44,8 +60,22 @@ func (c Cell) Spec() (sim.CellSpec, error) {
 	return sim.CellSpec{Bench: c.Bench, L2: c.L2, Technique: t, Interval: c.Interval}, nil
 }
 
-// key identifies a cell for client-side matching.
+// AttackSpec converts an attack wire cell back to a sim.AttackSpec.
+func (c Cell) AttackSpec() (sim.AttackSpec, error) {
+	t, err := leakctl.ParseTechnique(c.Technique)
+	if err != nil {
+		return sim.AttackSpec{}, err
+	}
+	return sim.AttackSpec{Scenario: c.Scenario, L2: c.L2, Technique: t, Interval: c.Interval}, nil
+}
+
+// key identifies a cell for client-side matching. Attack keys carry the
+// kind prefix and scenario so the two kinds can never collide; energy keys
+// keep their historic form.
 func (c Cell) key() string {
+	if c.Kind == KindAttack {
+		return fmt.Sprintf("attack/%s/%d/%s/%d", c.Scenario, c.L2, strings.ToLower(c.Technique), c.Interval)
+	}
 	return fmt.Sprintf("%s/%d/%s/%d", c.Bench, c.L2, strings.ToLower(c.Technique), c.Interval)
 }
 
@@ -59,7 +89,11 @@ type SweepRequest struct {
 
 	Cells []Cell `json:"cells,omitempty"`
 
-	Benchmarks  []string `json:"benchmarks,omitempty"`
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Scenarios crosses attack scenarios with Techniques, Intervals and
+	// L2Latencies into attack cells (kind "attack"), exactly as Benchmarks
+	// does for energy cells.
+	Scenarios   []string `json:"scenarios,omitempty"`
 	Techniques  []string `json:"techniques,omitempty"`
 	Intervals   []uint64 `json:"intervals,omitempty"`
 	L2Latencies []int    `json:"l2_latencies,omitempty"`
@@ -402,6 +436,61 @@ func (c *Client) RunCells(ctx context.Context, instructions, warmup uint64, spec
 	for _, sp := range specs {
 		rc := sim.RemoteCell{Spec: sp}
 		cs, ok := byKey[FromSpec(sp).key()]
+		switch {
+		case !ok:
+			rc.Err = "daemon status omitted this cell"
+		case cs.State == "done" && cs.Hash != "":
+			rec, err := c.Cell(ctx, cs.Hash)
+			if err != nil {
+				return nil, err
+			}
+			if err := json.Unmarshal(rec.Value, &rc.Result); err != nil {
+				return nil, fmt.Errorf("api: decode cell %s: %w", cs.Hash, err)
+			}
+		default:
+			rc.Err = cs.Error
+			if rc.Err == "" {
+				rc.Err = "cell ended in state " + cs.State
+			}
+		}
+		out = append(out, rc)
+	}
+	return out, nil
+}
+
+// RunAttackCells implements sim.AttackRemoteRunner, the attack-cell twin of
+// RunCells: the cells go up as one sweep of kind-"attack" wire cells and
+// each completed cell's stored attack.Result comes back by content address.
+// The sweep carries no instruction budget — attack runs are sized by their
+// scenario, and their content addresses ignore the budget by construction.
+func (c *Client) RunAttackCells(ctx context.Context, specs []sim.AttackSpec) ([]sim.RemoteAttackCell, error) {
+	var req SweepRequest
+	for _, sp := range specs {
+		req.Cells = append(req.Cells, FromAttackSpec(sp))
+	}
+	st, err := c.SubmitSweep(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	st, err = c.WaitSweep(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != StateCompleted {
+		msg := st.Error
+		if msg == "" {
+			msg = "sweep ended " + st.State
+		}
+		return nil, fmt.Errorf("sweep %s: %s", st.ID, msg)
+	}
+	byKey := make(map[string]CellStatus, len(st.Cells))
+	for _, cs := range st.Cells {
+		byKey[cs.key()] = cs
+	}
+	out := make([]sim.RemoteAttackCell, 0, len(specs))
+	for _, sp := range specs {
+		rc := sim.RemoteAttackCell{Spec: sp}
+		cs, ok := byKey[FromAttackSpec(sp).key()]
 		switch {
 		case !ok:
 			rc.Err = "daemon status omitted this cell"

@@ -5,23 +5,53 @@ import (
 	"sort"
 	"time"
 
+	"hotleakage/internal/attack"
 	"hotleakage/internal/leakctl"
 	"hotleakage/internal/sim"
 	"hotleakage/internal/store"
 	"hotleakage/internal/workload"
 )
 
-// ExpandCells turns a request into a deduplicated cell list: explicit
-// cells first, then the cross product. Baseline ("none") cells are
+// ExpandCells turns a request into deduplicated cell lists: explicit
+// cells first, then the cross products. Baseline ("none") cells are
 // normalized to interval 0 so they alias the single uncontrolled run.
 // It lives in the protocol package because a request's meaning must be
 // identical on every node that interprets it — the single-node daemon and
 // the cluster coordinator expand through this one function, so a sweep
 // shards into exactly the cells it would have run on one box.
-func ExpandCells(req SweepRequest) ([]sim.CellSpec, []Cell, error) {
+//
+// The returned wire list puts every energy cell before every attack cell,
+// each kind in discovery order: wire[i] corresponds to specs[i] for
+// i < len(specs) and to attacks[i-len(specs)] after, which is the order the
+// daemon reports cell statuses in.
+func ExpandCells(req SweepRequest) ([]sim.CellSpec, []sim.AttackSpec, []Cell, error) {
 	var specs []sim.CellSpec
+	var attacks []sim.AttackSpec
 	seen := make(map[string]bool)
 	add := func(c Cell) error {
+		if c.Kind == KindAttack {
+			sp, err := c.AttackSpec()
+			if err != nil {
+				return err
+			}
+			if _, ok := attack.ByName(sp.Scenario); !ok {
+				return fmt.Errorf("unknown attack scenario %q", sp.Scenario)
+			}
+			if sp.L2 <= 0 {
+				return fmt.Errorf("cell %s: l2_latency must be positive", sp.Key())
+			}
+			if sp.Technique == leakctl.TechNone {
+				sp.Interval = 0
+			}
+			if !seen[sp.Key()] {
+				seen[sp.Key()] = true
+				attacks = append(attacks, sp)
+			}
+			return nil
+		}
+		if c.Kind != "" {
+			return fmt.Errorf("unknown cell kind %q", c.Kind)
+		}
 		sp, err := c.Spec()
 		if err != nil {
 			return err
@@ -43,10 +73,10 @@ func ExpandCells(req SweepRequest) ([]sim.CellSpec, []Cell, error) {
 	}
 	for _, c := range req.Cells {
 		if err := add(c); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
-	if len(req.Benchmarks) > 0 {
+	if len(req.Benchmarks) > 0 || len(req.Scenarios) > 0 {
 		l2s := req.L2Latencies
 		if len(l2s) == 0 {
 			l2s = []int{11}
@@ -59,24 +89,43 @@ func ExpandCells(req SweepRequest) ([]sim.CellSpec, []Cell, error) {
 			for _, l2 := range l2s {
 				if req.IncludeBaselines {
 					if err := add(Cell{Bench: b, L2: l2, Technique: "none"}); err != nil {
-						return nil, nil, err
+						return nil, nil, nil, err
 					}
 				}
 				for _, tname := range req.Techniques {
 					for _, iv := range intervals {
 						if err := add(Cell{Bench: b, L2: l2, Technique: tname, Interval: iv}); err != nil {
-							return nil, nil, err
+							return nil, nil, nil, err
+						}
+					}
+				}
+			}
+		}
+		for _, sc := range req.Scenarios {
+			for _, l2 := range l2s {
+				if req.IncludeBaselines {
+					if err := add(Cell{Kind: KindAttack, Scenario: sc, L2: l2, Technique: "none"}); err != nil {
+						return nil, nil, nil, err
+					}
+				}
+				for _, tname := range req.Techniques {
+					for _, iv := range intervals {
+						if err := add(Cell{Kind: KindAttack, Scenario: sc, L2: l2, Technique: tname, Interval: iv}); err != nil {
+							return nil, nil, nil, err
 						}
 					}
 				}
 			}
 		}
 	}
-	wire := make([]Cell, len(specs))
-	for i, sp := range specs {
-		wire[i] = FromSpec(sp)
+	wire := make([]Cell, 0, len(specs)+len(attacks))
+	for _, sp := range specs {
+		wire = append(wire, FromSpec(sp))
 	}
-	return specs, wire, nil
+	for _, sp := range attacks {
+		wire = append(wire, FromAttackSpec(sp))
+	}
+	return specs, attacks, wire, nil
 }
 
 // RequestHash is the sweep's identity: budget plus the sorted cell set.
@@ -86,8 +135,17 @@ func RequestHash(instructions, warmup uint64, wire []Cell) (string, error) {
 	sorted := append([]Cell(nil), wire...)
 	sort.Slice(sorted, func(i, j int) bool {
 		a, b := sorted[i], sorted[j]
+		// Energy cells ("" kind) sort before attack cells; within a kind the
+		// historic order applies, so an all-energy request hashes exactly as
+		// it did before cell kinds existed (Kind/Scenario marshal away).
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
 		if a.Bench != b.Bench {
 			return a.Bench < b.Bench
+		}
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
 		}
 		if a.L2 != b.L2 {
 			return a.L2 < b.L2

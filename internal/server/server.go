@@ -127,6 +127,7 @@ type sweep struct {
 	reqHash      string
 	priority     string
 	cells        []sim.CellSpec
+	attacks      []sim.AttackSpec
 	wire         []api.Cell
 	instructions uint64
 	warmup       uint64
@@ -134,14 +135,15 @@ type sweep struct {
 	cancel       context.CancelFunc
 	hub          *stream.Hub
 
-	mu       sync.Mutex
-	state    string
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	exp      *sim.Experiments // live counters while running
-	outcomes []sim.CellOutcome
-	errMsg   string
+	mu             sync.Mutex
+	state          string
+	created        time.Time
+	started        time.Time
+	finished       time.Time
+	exp            *sim.Experiments // live counters while running
+	outcomes       []sim.CellOutcome
+	attackOutcomes []sim.AttackOutcome
+	errMsg         string
 	// degradedMsg marks a sweep that completed with results intact but
 	// with infrastructure trouble (store writes failing): the work is
 	// done, just not all of it persisted for reuse.
@@ -438,9 +440,16 @@ func (s *Server) execute(sw *sweep) {
 	sw.exp = e
 	sw.mu.Unlock()
 	sw.hub.Write(obs.Record{Type: "sweep_start", RunID: sw.id, Detail: sw.reqHash})
-	s.cfg.Log.Printf("leakd: sweep %s running (%d cells, %s)", sw.id, len(sw.cells), sw.priority)
+	s.cfg.Log.Printf("leakd: sweep %s running (%d cells, %s)", sw.id,
+		len(sw.cells)+len(sw.attacks), sw.priority)
 
+	// Both cell kinds run under one Experiments, so they share the store,
+	// the checkpoint file (disjoint key namespaces) and the live counters.
 	outs, runErr := e.RunCells(sw.cells)
+	var attackOuts []sim.AttackOutcome
+	if runErr == nil {
+		attackOuts, runErr = e.RunAttackCells(sw.attacks)
+	}
 	// Run trouble and infrastructure trouble are different verdicts: a
 	// batch that produced its results but could not persist them all is
 	// degraded-complete (the daemon recomputes next time instead of lying
@@ -457,6 +466,11 @@ func (s *Server) execute(sw *sweep) {
 	var msg, degradedMsg string
 	failed := 0
 	for _, o := range outs {
+		if o.Err != nil {
+			failed++
+		}
+	}
+	for _, o := range attackOuts {
 		if o.Err != nil {
 			failed++
 		}
@@ -487,6 +501,7 @@ func (s *Server) execute(sw *sweep) {
 	sw.finished = time.Now()
 	sw.exp = nil
 	sw.outcomes = outs
+	sw.attackOutcomes = attackOuts
 	sw.errMsg = msg
 	sw.degradedMsg = degradedMsg
 	sw.executed, sw.storeHits, sw.resumed = executed, hits, resumed
@@ -568,25 +583,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Warmup == 0 {
 		req.Warmup = s.cfg.DefaultWarmup
 	}
-	specs, wire, err := api.ExpandCells(req)
+	specs, attacks, wire, err := api.ExpandCells(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if len(specs) == 0 {
+	total := len(specs) + len(attacks)
+	if total == 0 {
 		httpError(w, http.StatusBadRequest, "sweep has no cells")
 		return
 	}
-	if len(specs) > s.cfg.MaxCells {
+	if total > s.cfg.MaxCells {
 		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("sweep has %d cells, limit is %d", len(specs), s.cfg.MaxCells))
+			fmt.Sprintf("sweep has %d cells, limit is %d", total, s.cfg.MaxCells))
 		return
 	}
 	priority := req.Priority
 	switch priority {
 	case "interactive", "bulk":
 	case "":
-		if len(specs) <= 2 {
+		if total <= 2 {
 			priority = "interactive"
 		} else {
 			priority = "bulk"
@@ -633,6 +649,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		reqHash:      reqHash,
 		priority:     priority,
 		cells:        specs,
+		attacks:      attacks,
 		wire:         wire,
 		instructions: req.Instructions,
 		warmup:       req.Warmup,
@@ -681,7 +698,7 @@ func (s *Server) status(sw *sweep, withCells bool) api.SweepStatus {
 		State:    sw.state,
 		Priority: sw.priority,
 		Created:  sw.created,
-		Total:    len(sw.cells),
+		Total:    len(sw.cells) + len(sw.attacks),
 		Error:    sw.errMsg,
 		Degraded: sw.degradedMsg,
 	}
@@ -701,10 +718,26 @@ func (s *Server) status(sw *sweep, withCells bool) api.SweepStatus {
 	} else {
 		st.Executed, st.StoreHits, st.Resumed = sw.executed, sw.storeHits, sw.resumed
 	}
-	if sw.outcomes != nil {
+	if sw.outcomes != nil || sw.attackOutcomes != nil {
+		// Energy outcomes first, then attack outcomes — the wire order
+		// ExpandCells documents.
 		st.Completed = 0
 		for _, o := range sw.outcomes {
 			cs := api.CellStatus{Cell: api.FromSpec(o.Spec), Hash: o.Hash}
+			if o.Err != nil {
+				cs.State = "failed"
+				cs.Error = o.Err.Err
+				st.Failed++
+			} else {
+				cs.State = "done"
+				st.Completed++
+			}
+			if withCells {
+				st.Cells = append(st.Cells, cs)
+			}
+		}
+		for _, o := range sw.attackOutcomes {
+			cs := api.CellStatus{Cell: api.FromAttackSpec(o.Spec), Hash: o.Hash}
 			if o.Err != nil {
 				cs.State = "failed"
 				cs.Error = o.Err.Err

@@ -33,6 +33,13 @@ func (cs CellSpec) Key() string { return runKey(cs.Bench, cs.L2, cs.Technique, c
 // semantics change. The JSON field order is irrelevant: the store hashes
 // the canonicalized (sorted-key) form.
 type cellIdentity struct {
+	// Kind discriminates cell kinds in the store. Energy cells leave it
+	// empty — omitempty drops the field from the canonical JSON, so every
+	// pre-existing energy-cell hash stays byte-identical — while other cell
+	// kinds (attackIdentity's "attack") always set theirs, so two kinds can
+	// never alias one content address. The aliasing regression test pins
+	// both properties.
+	Kind              string        `json:"kind,omitempty"`
 	CheckpointVersion int           `json:"checkpoint_version"`
 	Machine           MachineConfig `json:"machine"`
 	Bench             string        `json:"bench"`

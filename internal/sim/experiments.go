@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"hotleakage/internal/attack"
 	"hotleakage/internal/harness"
 	"hotleakage/internal/harness/faultinject"
 	"hotleakage/internal/leakage"
@@ -212,6 +213,13 @@ type Experiments struct {
 	sup       *harness.Supervisor[RunResult]
 	ckpt      *harness.Checkpoint
 	supErr    error
+	// Attack-cell memo and supervisor (attack_cells.go). The maps are
+	// lazily initialized so zero-value and literal-constructed Experiments
+	// keep working; asup shares e.ckpt with the energy supervisor (the
+	// "attack/" key prefix keeps the namespaces disjoint).
+	attackRuns     map[string]attack.Result
+	attackFailures map[string]*harness.RunError
+	asup           *harness.Supervisor[attack.Result]
 	executed  int // runs actually simulated this process
 	resumed   int // runs restored from the checkpoint
 	storeHits int // runs served from the content-addressed store
